@@ -1,0 +1,280 @@
+// Command commitlab inspects and analyzes commit protocols with the
+// machinery of Skeen's "Nonblocking Commit Protocols":
+//
+//	commitlab show  -proto c2pc -n 3            print the site automata
+//	commitlab graph -proto c2pc -n 2 [-dot]     reachable global state graph
+//	commitlab check -proto d3pc -n 3            fundamental theorem report
+//	commitlab synth -n 3                        2PC -> 3PC buffer synthesis
+//
+// Protocols: 1pc, c2pc, d2pc, c3pc, d3pc (central/decentralized), and the
+// canonical skeletons canon2pc, canon3pc (show/lemma only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nbcommit/internal/core"
+	"nbcommit/internal/protocol"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	proto := fs.String("proto", "c2pc", "protocol: 1pc, c2pc, d2pc, c3pc, d3pc, canon2pc, canon3pc")
+	file := fs.String("file", "", "compile the protocol from a DSL file instead of -proto")
+	n := fs.Int("n", 3, "number of participating sites")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of text")
+	fs.Parse(os.Args[2:])
+	if *file != "" {
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "commitlab:", rerr)
+			os.Exit(1)
+		}
+		dslSource = string(src)
+		*proto = "file"
+	}
+
+	var err error
+	switch cmd {
+	case "show":
+		err = show(*proto, *n, *dot)
+	case "graph":
+		err = graph(*proto, *n, *dot)
+	case "check":
+		err = check(*proto, *n)
+	case "synth":
+		err = synth(*n)
+	case "term":
+		err = term(*proto, *n)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commitlab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: commitlab <show|graph|check|synth|term> [-proto P] [-n N] [-dot]")
+}
+
+// dslSource holds the contents of a -file protocol definition.
+var dslSource string
+
+func buildProtocol(name string, n int) (*protocol.Protocol, error) {
+	switch name {
+	case "file":
+		return protocol.Compile(dslSource, n)
+	case "1pc":
+		return protocol.OnePC(n), nil
+	case "c2pc":
+		return protocol.CentralTwoPC(n), nil
+	case "d2pc":
+		return protocol.DecentralizedTwoPC(n), nil
+	case "c3pc":
+		return protocol.CentralThreePC(n), nil
+	case "d3pc":
+		return protocol.DecentralizedThreePC(n), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func canonical(name string) *protocol.Automaton {
+	switch name {
+	case "canon2pc":
+		return protocol.CanonicalTwoPC()
+	case "canon3pc":
+		return protocol.CanonicalThreePC()
+	default:
+		return nil
+	}
+}
+
+func show(name string, n int, dot bool) error {
+	if a := canonical(name); a != nil {
+		if dot {
+			return core.WriteAutomatonDOT(os.Stdout, a)
+		}
+		printAutomaton(a)
+		viol := core.CheckLemma(a)
+		if len(viol) == 0 {
+			fmt.Println("lemma: satisfied (nonblocking under single-transition synchrony)")
+		} else {
+			fmt.Println("lemma violations:")
+			for _, v := range viol {
+				fmt.Println("  " + v.String())
+			}
+		}
+		return nil
+	}
+	p, err := buildProtocol(name, n)
+	if err != nil {
+		return err
+	}
+	if err := protocol.Validate(p); err != nil {
+		return err
+	}
+	if dot {
+		for _, a := range p.Sites {
+			if err := core.WriteAutomatonDOT(os.Stdout, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Println(p)
+	phases, err := protocol.Phases(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phases: %d\n", phases)
+	if err := protocol.CheckUnilateralAbort(p); err != nil {
+		fmt.Printf("unilateral abort: NOT possible (%v)\n", err)
+	} else {
+		fmt.Println("unilateral abort: possible at every server")
+	}
+	seen := map[string]bool{}
+	for _, a := range p.Sites {
+		if seen[a.Name] {
+			continue
+		}
+		seen[a.Name] = true
+		printAutomaton(a)
+	}
+	return nil
+}
+
+func printAutomaton(a *protocol.Automaton) {
+	fmt.Printf("\nsite %d (%s), initial=%s\n", a.Site, a.Name, a.Initial)
+	for _, s := range a.StateIDs() {
+		fmt.Printf("  state %-3s %s\n", s, a.States[s])
+	}
+	for _, t := range a.Transitions {
+		fmt.Printf("  %s\n", t)
+	}
+}
+
+func graph(name string, n int, dot bool) error {
+	p, err := buildProtocol(name, n)
+	if err != nil {
+		return err
+	}
+	g, err := core.Build(p, core.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	if dot {
+		return core.WriteGraphDOT(os.Stdout, g)
+	}
+	s := g.Stats()
+	fmt.Printf("%s reachable state graph\n", p.Name)
+	fmt.Printf("  global states: %d\n  edges:         %d\n", s.States, s.Edges)
+	fmt.Printf("  final:         %d (commit %d / abort %d)\n", s.FinalStates, s.CommitFinal, s.AbortFinal)
+	fmt.Printf("  deadlocked:    %d\n  inconsistent:  %d\n", s.Deadlocked, s.Inconsistent)
+	return nil
+}
+
+func check(name string, n int) error {
+	p, err := buildProtocol(name, n)
+	if err != nil {
+		return err
+	}
+	g, err := core.Build(p, core.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	r := core.CheckTheorem(g)
+	fmt.Println(r)
+	fmt.Printf("committable states: %s\n", core.CommittableSummary(r.Analysis))
+	good := core.CheckResilience(g)
+	if len(good) == p.N() {
+		fmt.Println("corollary: every site obeys the theorem — nonblocking while any one site survives")
+	} else {
+		ids := make([]string, len(good))
+		for i, s := range good {
+			ids[i] = fmt.Sprintf("%d", int(s))
+		}
+		fmt.Printf("corollary: theorem-obeying sites: {%s}\n", strings.Join(ids, ","))
+	}
+	ok, counter, err := core.SynchronousWithinOne(p, core.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("synchronous within one state transition: yes")
+	} else {
+		fmt.Printf("synchronous within one state transition: NO (%s)\n", counter)
+	}
+	return nil
+}
+
+func synth(n int) error {
+	p2 := protocol.CentralTwoPC(n)
+	fmt.Println(core.CheckTheorem(mustGraph(p2)))
+	p3, err := core.SynthesizeCentralBuffer(p2)
+	if err != nil {
+		return err
+	}
+	fmt.Println(core.CheckTheorem(mustGraph(p3)))
+	ref := protocol.CentralThreePC(n)
+	for i := range p3.Sites {
+		if !core.StructurallyEquivalent(p3.Sites[i], ref.Sites[i]) {
+			return fmt.Errorf("site %d: synthesized skeleton differs from the paper's 3PC", i+1)
+		}
+	}
+	fmt.Println("synthesized protocol is structurally the central-site 3PC of the paper")
+	return nil
+}
+
+// term model-checks the backup-coordinator decision rule over every
+// reachable global state and crash subset.
+func term(name string, n int) error {
+	p, err := buildProtocol(name, n)
+	if err != nil {
+		return err
+	}
+	g, err := core.Build(p, core.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	viol := core.CheckTermination(g)
+	if len(viol) == 0 {
+		fmt.Printf("%s: termination decision rule SAFE over all %d reachable states and every crash subset\n",
+			p.Name, len(g.Nodes))
+		return nil
+	}
+	fmt.Printf("%s: %d termination counterexamples\n", p.Name, len(viol))
+	max := len(viol)
+	if max > 10 {
+		max = 10
+	}
+	for _, v := range viol[:max] {
+		fmt.Println("  " + v.String())
+		if steps, perr := g.PathTo(v.State); perr == nil {
+			fmt.Println("    witness: " + core.FormatPath(steps))
+		}
+	}
+	if len(viol) > max {
+		fmt.Printf("  ... and %d more\n", len(viol)-max)
+	}
+	return nil
+}
+
+func mustGraph(p *protocol.Protocol) *core.Graph {
+	g, err := core.Build(p, core.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

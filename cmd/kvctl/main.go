@@ -1,0 +1,87 @@
+// Command kvctl talks to a kvnode's client API.
+//
+//	kvctl -addr localhost:8101 put 2 color blue     # one-shot transaction
+//	kvctl -addr localhost:8101 get 2 color
+//	kvctl -addr localhost:8101 tx "put 2 a 1" "put 3 b 2"
+//	kvctl -addr localhost:8101 -i                    # interactive session
+//
+// One-shot mode wraps the operation in BEGIN ... COMMIT; tx mode runs every
+// quoted command in a single transaction; interactive mode forwards stdin
+// lines verbatim (BEGIN/GET/PUT/DEL/COMMIT/ABORT).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8101", "kvnode client API address")
+	interactive := flag.Bool("i", false, "interactive session on stdin")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			log.Fatal(err)
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		return strings.TrimSpace(reply)
+	}
+
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Println("connected; commands: BEGIN, GET s k, PUT s k v, DEL s k, COMMIT, ABORT")
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) == "" {
+				continue
+			}
+			fmt.Println(send(sc.Text()))
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("kvctl: need a command (get/put/del/tx) or -i")
+	}
+	switch strings.ToLower(args[0]) {
+	case "tx":
+		run(send, args[1:]...)
+	case "get", "put", "del":
+		run(send, strings.Join(args, " "))
+	default:
+		log.Fatalf("kvctl: unknown command %q", args[0])
+	}
+}
+
+// run executes the given commands inside one transaction.
+func run(send func(string) string, cmds ...string) {
+	reply := send("BEGIN")
+	if !strings.HasPrefix(reply, "OK") {
+		log.Fatalf("BEGIN: %s", reply)
+	}
+	fmt.Println(reply)
+	for _, c := range cmds {
+		reply := send(c)
+		fmt.Printf("%s -> %s\n", c, reply)
+		if strings.HasPrefix(reply, "ERR") {
+			fmt.Println(send("ABORT"))
+			os.Exit(1)
+		}
+	}
+	fmt.Println(send("COMMIT"))
+}

@@ -1,0 +1,175 @@
+// Command kvnode runs one site of a distributed key-value store over TCP:
+// the commit engine (2PC or 3PC, central-site or decentralized) with a
+// file-backed write-ahead log, a heartbeat failure detector, the lock-based
+// store, and — optionally — a line-oriented client API through which this
+// node coordinates distributed transactions.
+//
+//	kvnode -id 1 -listen :7101 -client :8101 \
+//	       -peers "2=host:7102,3=host:7103" -wal /tmp/n1.wal -proto 3pc
+//
+// See internal/nodeapi for the client protocol. Kill a node mid-transaction
+// to watch 2PC block and 3PC terminate; restart it with the same -wal to
+// watch the recovery protocol resolve in-doubt transactions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nbcommit/internal/dtx"
+	"nbcommit/internal/engine"
+	"nbcommit/internal/failure"
+	"nbcommit/internal/kv"
+	"nbcommit/internal/nodeapi"
+	"nbcommit/internal/remote"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", 1, "site ID (unique, positive)")
+		listen     = flag.String("listen", ":7101", "cluster listen address")
+		clientAddr = flag.String("client", "", "client API listen address (empty: none)")
+		peersFlag  = flag.String("peers", "", "peer sites: \"2=host:port,3=host:port\"")
+		walPath    = flag.String("wal", "", "write-ahead log file (required)")
+		protoFlag  = flag.String("proto", "3pc", "commit protocol: 2pc or 3pc")
+		paradigm   = flag.String("paradigm", "central", "central or decentralized")
+		timeout    = flag.Duration("timeout", 500*time.Millisecond, "protocol timeout")
+		hbEvery    = flag.Duration("hb", 150*time.Millisecond, "heartbeat interval")
+		hbTimeout  = flag.Duration("hb-timeout", 600*time.Millisecond, "failure suspicion timeout")
+	)
+	flag.Parse()
+	if *walPath == "" {
+		log.Fatal("kvnode: -wal is required")
+	}
+	kind := engine.ThreePhase
+	switch strings.ToLower(*protoFlag) {
+	case "3pc":
+	case "2pc":
+		kind = engine.TwoPhase
+	default:
+		log.Fatalf("kvnode: unknown protocol %q", *protoFlag)
+	}
+	if *paradigm != "central" && *paradigm != "decentralized" {
+		log.Fatalf("kvnode: unknown paradigm %q", *paradigm)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ep, err := transport.ListenTCP(*id, *listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	log.Printf("kvnode %d: cluster on %s (%s, %s)", *id, ep.Addr(), kind, *paradigm)
+
+	ids := []int{*id}
+	for p := range peers {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+
+	hb := failure.NewHeartbeat(*id, ids, *hbEvery, *hbTimeout, func(to int) {
+		_ = ep.Send(transport.Message{To: to, Kind: failure.HeartbeatKind})
+	})
+	hb.Start()
+	defer hb.Stop()
+
+	// Compact the log before opening: recovery replays the whole file, so
+	// garbage-collected transactions are dropped first. A missing file is
+	// fine (first boot).
+	if _, statErr := os.Stat(*walPath); statErr == nil {
+		if kept, droppedRecs, cerr := wal.Compact(*walPath); cerr != nil {
+			log.Fatalf("kvnode: compact %s: %v", *walPath, cerr)
+		} else if droppedRecs > 0 {
+			log.Printf("kvnode %d: compacted WAL: kept %d records, dropped %d", *id, kept, droppedRecs)
+		}
+	}
+	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logFile.Close()
+
+	store := kv.NewStore(kv.Options{LockTimeout: 250 * time.Millisecond})
+	server := &remote.Server{Store: store, Send: ep.Send}
+	client := remote.NewClient(ep.Send, *timeout)
+
+	// Recover always: on an empty WAL it is a no-op; after a crash it
+	// replays committed effects and launches the recovery protocol.
+	site, err := engine.Recover(engine.Config{
+		ID:       *id,
+		Endpoint: ep,
+		Log:      logFile,
+		Resource: dtx.StoreResource{Store: store},
+		Detector: hb,
+		Protocol: kind,
+		Timeout:  *timeout,
+		Unhandled: func(m transport.Message) {
+			switch m.Kind {
+			case failure.HeartbeatKind:
+				hb.Observe(m.From)
+			case remote.KindOp:
+				go server.Handle(m) // store ops may wait on locks
+			case remote.KindReply:
+				client.Deliver(m)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Stop()
+	if doubt := site.InDoubt(); len(doubt) > 0 {
+		log.Printf("kvnode %d: recovering %d in-doubt transaction(s): %v", *id, len(doubt), doubt)
+	}
+
+	if *clientAddr == "" {
+		select {} // participant only
+	}
+	api := &nodeapi.API{
+		Self: *id, Site: site, Store: store,
+		Client: client, Timeout: *timeout, Paradigm: *paradigm,
+	}
+	ln, err := net.Listen("tcp", *clientAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("kvnode %d: client API on %s", *id, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go api.Serve(conn)
+	}
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	peers := map[int]string{}
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kvp := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kvp) != 2 {
+			return nil, fmt.Errorf("kvnode: bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kvp[0])
+		if err != nil {
+			return nil, fmt.Errorf("kvnode: bad peer id %q", kvp[0])
+		}
+		peers[id] = kvp[1]
+	}
+	return peers, nil
+}

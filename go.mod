@@ -1,0 +1,3 @@
+module nbcommit
+
+go 1.22

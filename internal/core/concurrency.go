@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nbcommit/internal/protocol"
+)
+
+// LocalState identifies a local state of a particular site: the unit over
+// which concurrency sets and committability are defined.
+type LocalState struct {
+	Site  protocol.SiteID
+	State protocol.StateID
+}
+
+// String renders e.g. "s2:w".
+func (l LocalState) String() string { return fmt.Sprintf("s%d:%s", int(l.Site), l.State) }
+
+// CSet is a concurrency set: given that site k occupies state s, the set of
+// local states that may be concurrently occupied by the other sites
+// (derived from the reachable state graph, slide "Comments on reachable
+// state graphs").
+type CSet struct {
+	Of     LocalState
+	States map[LocalState]bool
+}
+
+// Names returns the state names in the set, deduplicated across sites and
+// sorted. For the homogeneous protocols of the paper this is the form in
+// which concurrency sets are written, e.g. CS(w) = {q, w, a, c}.
+func (c *CSet) Names() []protocol.StateID {
+	seen := map[protocol.StateID]bool{}
+	var out []protocol.StateID
+	for l := range c.States {
+		if !seen[l.State] {
+			seen[l.State] = true
+			out = append(out, l.State)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set in the paper's notation, e.g.
+// "CS(s2:w) = {a, c, q, w}".
+func (c *CSet) String() string {
+	names := c.Names()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = string(n)
+	}
+	return fmt.Sprintf("CS(%s) = {%s}", c.Of, strings.Join(parts, ", "))
+}
+
+// Analysis holds the derived facts about a protocol's reachable state graph
+// that the fundamental nonblocking theorem quantifies over: per-site
+// occupied states, their concurrency sets, and their committability.
+type Analysis struct {
+	Graph *Graph
+	// Occupied lists, per site, the local states that the site occupies in
+	// some reachable global state.
+	Occupied map[protocol.SiteID][]protocol.StateID
+	// Sets maps each occupied local state to its concurrency set.
+	Sets map[LocalState]*CSet
+	// VotedYes[l] reports that every path by which site l.Site reaches
+	// l.State includes a yes-vote transition.
+	VotedYes map[LocalState]bool
+	// Committable[l] reports that occupancy of l.State by site l.Site
+	// implies that all sites have voted yes on committing.
+	Committable map[LocalState]bool
+}
+
+// Analyze computes concurrency sets and committable states for every
+// occupied local state of the protocol underlying g.
+func Analyze(g *Graph) *Analysis {
+	a := &Analysis{
+		Graph:       g,
+		Occupied:    map[protocol.SiteID][]protocol.StateID{},
+		Sets:        map[LocalState]*CSet{},
+		VotedYes:    map[LocalState]bool{},
+		Committable: map[LocalState]bool{},
+	}
+
+	// Local yes-vote analysis: votedYes(s) holds iff every path from the
+	// automaton's initial state to s crosses a VoteYes transition. Computed
+	// per automaton by fixed point over the acyclic diagram.
+	for _, aut := range g.Protocol.Sites {
+		for s, v := range votedYesStates(aut) {
+			a.VotedYes[LocalState{Site: aut.Site, State: s}] = v
+		}
+	}
+
+	// Occupancy and concurrency sets from the reachable graph.
+	occupied := map[LocalState]bool{}
+	for _, n := range g.Nodes {
+		for i := range n.Locals {
+			occupied[LocalState{Site: protocol.SiteID(i + 1), State: n.Locals[i]}] = true
+		}
+	}
+	for l := range occupied {
+		a.Occupied[l.Site] = append(a.Occupied[l.Site], l.State)
+		a.Sets[l] = &CSet{Of: l, States: map[LocalState]bool{}}
+		a.Committable[l] = true // refined below
+	}
+	for site := range a.Occupied {
+		sort.Slice(a.Occupied[site], func(i, j int) bool {
+			return a.Occupied[site][i] < a.Occupied[site][j]
+		})
+	}
+	for _, n := range g.Nodes {
+		for i := range n.Locals {
+			l := LocalState{Site: protocol.SiteID(i + 1), State: n.Locals[i]}
+			cs := a.Sets[l]
+			allYes := true
+			for j := range n.Locals {
+				other := LocalState{Site: protocol.SiteID(j + 1), State: n.Locals[j]}
+				if j != i {
+					cs.States[other] = true
+				}
+				if !a.VotedYes[other] {
+					allYes = false
+				}
+			}
+			// Committable: occupancy of l in ANY reachable global state must
+			// imply all sites voted yes; one counterexample clears it.
+			if !allYes {
+				a.Committable[l] = false
+			}
+		}
+	}
+	return a
+}
+
+// votedYesStates computes, for each state of a single automaton, whether
+// every path from the initial state to it includes a yes-vote transition.
+// Unreachable states are omitted.
+func votedYesStates(a *protocol.Automaton) map[protocol.StateID]bool {
+	// reach[s] true once s is known reachable; yes[s] meaningful only then.
+	reach := map[protocol.StateID]bool{a.Initial: true}
+	yes := map[protocol.StateID]bool{a.Initial: false}
+	changed := true
+	for changed {
+		changed = false
+		for s := range a.States {
+			// s's value: all incoming edges from reachable states must carry
+			// or inherit a yes vote; a state with no reachable predecessor
+			// other than being initial stays unreachable.
+			if s == a.Initial {
+				continue
+			}
+			anyIn := false
+			allYes := true
+			for _, t := range a.Transitions {
+				if t.To != s || !reach[t.From] {
+					continue
+				}
+				anyIn = true
+				if !(t.Vote == protocol.VoteYes || yes[t.From]) {
+					allYes = false
+				}
+			}
+			if !anyIn {
+				continue
+			}
+			if !reach[s] || yes[s] != allYes {
+				reach[s] = true
+				yes[s] = allYes
+				changed = true
+			}
+		}
+	}
+	out := map[protocol.StateID]bool{}
+	for s := range reach {
+		out[s] = yes[s]
+	}
+	return out
+}
+
+// Set returns the concurrency set of the given site's state, or an error if
+// the state is never occupied in a reachable global state.
+func (a *Analysis) Set(site protocol.SiteID, s protocol.StateID) (*CSet, error) {
+	cs, ok := a.Sets[LocalState{Site: site, State: s}]
+	if !ok {
+		return nil, fmt.Errorf("core: site %d never occupies state %q in a reachable state", int(site), s)
+	}
+	return cs, nil
+}
+
+// kindOf resolves the state kind of a local state via its owning automaton.
+func (a *Analysis) kindOf(l LocalState) protocol.StateKind {
+	aut, err := a.Graph.Protocol.Site(l.Site)
+	if err != nil {
+		return protocol.KindIntermediate
+	}
+	k, err := aut.Kind(l.State)
+	if err != nil {
+		return protocol.KindIntermediate
+	}
+	return k
+}
+
+// ContainsCommit reports whether the concurrency set contains a commit
+// state.
+func (a *Analysis) ContainsCommit(cs *CSet) bool {
+	for l := range cs.States {
+		if a.kindOf(l) == protocol.KindCommit {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAbort reports whether the concurrency set contains an abort state.
+func (a *Analysis) ContainsAbort(cs *CSet) bool {
+	for l := range cs.States {
+		if a.kindOf(l) == protocol.KindAbort {
+			return true
+		}
+	}
+	return false
+}
+
+// CommittableStates returns the names of the committable states of a site,
+// sorted. For 2PC this is {c}; for 3PC, {p, c} — nonblocking protocols
+// always have more than one committable state.
+func (a *Analysis) CommittableStates(site protocol.SiteID) []protocol.StateID {
+	var out []protocol.StateID
+	for _, s := range a.Occupied[site] {
+		if a.Committable[LocalState{Site: site, State: s}] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nbcommit/internal/protocol"
+)
+
+// WriteAutomatonDOT renders one site's automaton in Graphviz DOT format.
+// Commit states are drawn as double circles, abort states as double
+// octagons, matching the visual convention of the paper's figures.
+func WriteAutomatonDOT(w io.Writer, a *protocol.Automaton) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", fmt.Sprintf("site%d_%s", a.Site, a.Name))
+	for _, s := range a.StateIDs() {
+		shape := "circle"
+		switch a.States[s] {
+		case protocol.KindCommit:
+			shape = "doublecircle"
+		case protocol.KindAbort:
+			shape = "doubleoctagon"
+		}
+		style := ""
+		if s == a.Initial {
+			style = ", style=bold"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s%s];\n", s, shape, style)
+	}
+	for _, t := range a.Transitions {
+		reads := make([]string, len(t.Reads))
+		for i, r := range t.Reads {
+			reads[i] = r.String()
+		}
+		sends := make([]string, len(t.Sends))
+		for i, m := range t.Sends {
+			sends[i] = m.String()
+		}
+		label := strings.Join(reads, ",")
+		if len(sends) > 0 {
+			label += " / " + strings.Join(sends, ",")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", t.From, t.To, label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteGraphDOT renders the reachable state graph in Graphviz DOT format.
+// Each node is labelled with its state vector and outstanding messages;
+// final states are drawn as boxes, inconsistent states (none should exist
+// for a correct protocol) in red.
+func WriteGraphDOT(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n",
+		g.Protocol.Name)
+	for _, n := range g.SortedNodes() {
+		attrs := []string{fmt.Sprintf("label=%q", n.String())}
+		if g.Final(n) {
+			attrs = append(attrs, "shape=box")
+		}
+		if g.Deadlocked(n) {
+			attrs = append(attrs, `color=orange`)
+		}
+		if g.Inconsistent(n) {
+			attrs = append(attrs, `color=red, style=filled`)
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Key(), strings.Join(attrs, ", "))
+	}
+	for _, n := range g.SortedNodes() {
+		for _, e := range n.Succs {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+				n.Key(), e.To.Key(), fmt.Sprintf("s%d: %s->%s", int(e.Site), e.T.From, e.T.To))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Step is one edge on a witness path through the reachable state graph.
+type Step struct {
+	Site int
+	From string
+	To   string
+	Node *Node // global state after the step
+}
+
+// PathTo returns a shortest execution (sequence of site transitions) from
+// the initial global state to the target node — a witness showing how the
+// protocol reaches that state. The target must belong to g.
+func (g *Graph) PathTo(target *Node) ([]Step, error) {
+	if got, ok := g.Nodes[target.Key()]; !ok || got != target {
+		return nil, fmt.Errorf("core: node %s is not part of this graph", target)
+	}
+	if target == g.Initial {
+		return nil, nil
+	}
+	type crumb struct {
+		prev *Node
+		step Step
+	}
+	from := map[*Node]crumb{}
+	queue := []*Node{g.Initial}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Succs {
+			if _, seen := from[e.To]; seen || e.To == g.Initial {
+				continue
+			}
+			from[e.To] = crumb{prev: n, step: Step{
+				Site: int(e.Site), From: string(e.T.From), To: string(e.T.To), Node: e.To,
+			}}
+			if e.To == target {
+				queue = nil
+				break
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	if _, ok := from[target]; !ok {
+		return nil, fmt.Errorf("core: node %s unreachable (graph corrupt?)", target)
+	}
+	var rev []Step
+	for n := target; n != g.Initial; n = from[n].prev {
+		rev = append(rev, from[n].step)
+	}
+	out := make([]Step, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+// FormatPath renders a witness path, e.g.
+// "s1: q->w | s2: q->w | s1: w->c".
+func FormatPath(steps []Step) string {
+	if len(steps) == 0 {
+		return "(initial state)"
+	}
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = fmt.Sprintf("s%d: %s->%s", s.Site, s.From, s.To)
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nbcommit/internal/protocol"
+)
+
+// SynchronousWithinOne reports whether the protocol is synchronous within
+// one state transition: one site never leads another by more than one state
+// transition during any execution (slide "Synchronicity within one state
+// transition"). The check explores the reachable global states augmented
+// with per-site transition counts and verifies that the counts of any two
+// sites never differ by more than one.
+//
+// The returned counterexample is empty when the property holds.
+func SynchronousWithinOne(p *protocol.Protocol, opts BuildOptions) (bool, string, error) {
+	if err := protocol.Validate(p); err != nil {
+		return false, "", err
+	}
+	max := opts.MaxNodes
+	if max == 0 {
+		max = defaultMaxNodes
+	}
+
+	type state struct {
+		locals []protocol.StateID
+		net    MsgBag
+		steps  []int
+	}
+	key := func(s state) string {
+		parts := make([]string, len(s.steps))
+		for i, c := range s.steps {
+			parts[i] = fmt.Sprintf("%d", c)
+		}
+		return nodeKey(s.locals, s.net) + "#" + strings.Join(parts, ",")
+	}
+	checkSpread := func(steps []int) bool {
+		lo, hi := steps[0], steps[0]
+		for _, c := range steps[1:] {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		return hi-lo <= 1
+	}
+
+	locals := make([]protocol.StateID, p.N())
+	for i, a := range p.Sites {
+		locals[i] = a.Initial
+	}
+	net := MsgBag{}
+	for _, m := range p.Initial {
+		net.Add(m, 1)
+	}
+	init := state{locals: locals, net: net, steps: make([]int, p.N())}
+	seen := map[string]bool{key(init): true}
+	queue := []state{init}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if !checkSpread(s.steps) {
+			return false, describeSpread(s.locals, s.steps), nil
+		}
+		for _, a := range p.Sites {
+			local := s.locals[int(a.Site)-1]
+			for _, t := range a.From(local) {
+				for _, consumed := range matchReads(s.net, a.Site, t.Reads) {
+					succ := state{
+						locals: append([]protocol.StateID(nil), s.locals...),
+						net:    s.net.Clone(),
+						steps:  append([]int(nil), s.steps...),
+					}
+					succ.locals[int(a.Site)-1] = t.To
+					succ.steps[int(a.Site)-1]++
+					for _, m := range consumed {
+						succ.net.Add(m, -1)
+					}
+					for _, m := range t.Sends {
+						succ.net.Add(m, 1)
+					}
+					k := key(succ)
+					if seen[k] {
+						continue
+					}
+					if len(seen) >= max {
+						return false, "", fmt.Errorf("core: synchrony exploration for %s exceeds %d states", p.Name, max)
+					}
+					seen[k] = true
+					queue = append(queue, succ)
+				}
+			}
+		}
+	}
+	return true, "", nil
+}
+
+func describeSpread(locals []protocol.StateID, steps []int) string {
+	parts := make([]string, len(locals))
+	for i := range locals {
+		parts[i] = fmt.Sprintf("s%d:%s@%d", i+1, locals[i], steps[i])
+	}
+	return "sites lead by more than one transition: " + strings.Join(parts, " ")
+}
+
+// SkeletonEdge is a message-free edge of an automaton's state diagram.
+type SkeletonEdge struct {
+	From, To protocol.StateID
+}
+
+// Skeleton extracts the message-free structure of an automaton: its states
+// with their kinds, and the set of distinct (from, to) edges. The paper
+// observes (slide "The similarity between 2PC protocols") that the
+// central-site and decentralized 2PC protocols are structurally equivalent —
+// their skeletons coincide with the canonical 2PC.
+func Skeleton(a *protocol.Automaton) (map[protocol.StateID]protocol.StateKind, []SkeletonEdge) {
+	states := make(map[protocol.StateID]protocol.StateKind, len(a.States))
+	for s, k := range a.States {
+		states[s] = k
+	}
+	seen := map[SkeletonEdge]bool{}
+	var edges []SkeletonEdge
+	for _, t := range a.Transitions {
+		e := SkeletonEdge{From: t.From, To: t.To}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return states, edges
+}
+
+// StructurallyEquivalent reports whether two automata have identical
+// skeletons: same state names with the same kinds, and the same edge set.
+func StructurallyEquivalent(a, b *protocol.Automaton) bool {
+	as, ae := Skeleton(a)
+	bs, be := Skeleton(b)
+	if len(as) != len(bs) || len(ae) != len(be) {
+		return false
+	}
+	for s, k := range as {
+		if bs[s] != k {
+			return false
+		}
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nbcommit/internal/protocol"
+)
+
+// MakeNonblockingSkeleton applies the paper's design method (slide "Making
+// the canonical 2PC protocol nonblocking") to a canonical automaton: while
+// the lemma for protocols synchronous within one transition is violated,
+// insert a buffer state on each edge that enters a commit state from a
+// noncommittable state (or from a state also adjacent to an abort state).
+// Applied to the canonical 2PC this inserts the single buffer state p
+// ("prepare to commit") between w and c, producing the canonical 3PC.
+//
+// The input automaton is not modified. The buffer states are named "p",
+// "p2", "p3", ... avoiding collisions with existing state names.
+func MakeNonblockingSkeleton(a *protocol.Automaton) (*protocol.Automaton, error) {
+	out := cloneAutomaton(a)
+	const maxRounds = 32
+	for round := 0; round < maxRounds; round++ {
+		viol := CheckLemma(out)
+		if len(viol) == 0 {
+			return out, nil
+		}
+		// Gather the offending edges: any edge u -> c into a commit state
+		// where u participates in a violation.
+		offending := map[protocol.StateID]bool{}
+		for _, v := range viol {
+			offending[v.State] = true
+		}
+		inserted := false
+		var next []protocol.Transition
+		for _, t := range out.Transitions {
+			if offending[t.From] && out.States[t.To] == protocol.KindCommit {
+				buf := freshStateID(out, "p")
+				out.States[buf] = protocol.KindIntermediate
+				next = append(next,
+					protocol.Transition{From: t.From, To: buf, Reads: t.Reads, Sends: t.Sends, Vote: t.Vote},
+					protocol.Transition{From: buf, To: t.To, Reads: t.Reads, Sends: nil},
+				)
+				inserted = true
+				continue
+			}
+			next = append(next, t)
+		}
+		out.Transitions = next
+		if !inserted {
+			return nil, fmt.Errorf("core: lemma violations remain but no commit edge to buffer in %s", a.Name)
+		}
+	}
+	return nil, fmt.Errorf("core: buffer-state insertion did not converge for %s", a.Name)
+}
+
+func cloneAutomaton(a *protocol.Automaton) *protocol.Automaton {
+	out := &protocol.Automaton{
+		Site: a.Site, Name: a.Name, Initial: a.Initial,
+		States:      make(map[protocol.StateID]protocol.StateKind, len(a.States)),
+		Transitions: append([]protocol.Transition(nil), a.Transitions...),
+	}
+	for s, k := range a.States {
+		out.States[s] = k
+	}
+	for i := range out.Transitions {
+		out.Transitions[i].Reads = append([]protocol.Pattern(nil), out.Transitions[i].Reads...)
+		out.Transitions[i].Sends = append([]protocol.Msg(nil), out.Transitions[i].Sends...)
+	}
+	return out
+}
+
+func freshStateID(a *protocol.Automaton, base string) protocol.StateID {
+	if _, taken := a.States[protocol.StateID(base)]; !taken {
+		return protocol.StateID(base)
+	}
+	for i := 2; ; i++ {
+		id := protocol.StateID(fmt.Sprintf("%s%d", base, i))
+		if _, taken := a.States[id]; !taken {
+			return id
+		}
+	}
+}
+
+// SynthesizeCentralBuffer applies the buffer-state construction at the
+// message level to a central-site protocol: every coordinator transition
+// into a commit state is split into a prepare round followed by the commit,
+// and the matching slave transitions gain a buffer state that acknowledges
+// the prepare. Applied to the central-site 2PC this mechanically yields the
+// central-site 3PC of slide 35.
+//
+// The coordinator must be site 1 and, per the central-site model, slaves
+// communicate only with the coordinator. The input protocol is not modified.
+func SynthesizeCentralBuffer(p *protocol.Protocol) (*protocol.Protocol, error) {
+	if p.N() < 2 {
+		return nil, fmt.Errorf("core: protocol %s has fewer than 2 sites", p.Name)
+	}
+	out := &protocol.Protocol{
+		Name:    p.Name + " +buffer",
+		Initial: append([]protocol.Msg(nil), p.Initial...),
+	}
+	others := make([]protocol.SiteID, 0, p.N()-1)
+	for i := 2; i <= p.N(); i++ {
+		others = append(others, protocol.SiteID(i))
+	}
+
+	// Coordinator: split each transition into a commit state.
+	coord := cloneAutomaton(p.Sites[0])
+	var coordTrans []protocol.Transition
+	for _, t := range coord.Transitions {
+		if coord.States[t.To] != protocol.KindCommit {
+			coordTrans = append(coordTrans, t)
+			continue
+		}
+		buf := freshStateID(coord, "p")
+		coord.States[buf] = protocol.KindIntermediate
+		prepSends := make([]protocol.Msg, len(others))
+		ackReads := make([]protocol.Pattern, len(others))
+		for i, s := range others {
+			prepSends[i] = protocol.Msg{Name: protocol.MsgPrepare, From: 1, To: s}
+			ackReads[i] = protocol.Pattern{Name: protocol.MsgAck, From: s}
+		}
+		coordTrans = append(coordTrans,
+			protocol.Transition{From: t.From, To: buf, Reads: t.Reads, Sends: prepSends, Vote: t.Vote},
+			protocol.Transition{From: buf, To: t.To, Reads: ackReads, Sends: t.Sends},
+		)
+	}
+	coord.Transitions = coordTrans
+	out.Sites = append(out.Sites, coord)
+
+	// Slaves: buffer each transition that consumes the coordinator's commit.
+	for _, orig := range p.Sites[1:] {
+		slave := cloneAutomaton(orig)
+		var slaveTrans []protocol.Transition
+		for _, t := range slave.Transitions {
+			if slave.States[t.To] != protocol.KindCommit {
+				slaveTrans = append(slaveTrans, t)
+				continue
+			}
+			buf := freshStateID(slave, "p")
+			slave.States[buf] = protocol.KindIntermediate
+			slaveTrans = append(slaveTrans,
+				protocol.Transition{
+					From: t.From, To: buf,
+					Reads: []protocol.Pattern{{Name: protocol.MsgPrepare, From: 1}},
+					Sends: []protocol.Msg{{Name: protocol.MsgAck, From: slave.Site, To: 1}},
+				},
+				protocol.Transition{From: buf, To: t.To, Reads: t.Reads, Sends: t.Sends},
+			)
+		}
+		slave.Transitions = slaveTrans
+		out.Sites = append(out.Sites, slave)
+	}
+
+	if err := protocol.Validate(out); err != nil {
+		return nil, fmt.Errorf("core: synthesized protocol invalid: %w", err)
+	}
+	return out, nil
+}
+
+// CommittableSummary formats the committable states of every site, e.g.
+// "s1:{c} s2:{c}" for 2PC. Nonblocking protocols always have more than one
+// committable state per site.
+func CommittableSummary(a *Analysis) string {
+	var sites []protocol.SiteID
+	for s := range a.Occupied {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := ""
+	for i, s := range sites {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("s%d:{", int(s))
+		for j, st := range a.CommittableStates(s) {
+			if j > 0 {
+				out += ","
+			}
+			out += string(st)
+		}
+		out += "}"
+	}
+	return out
+}

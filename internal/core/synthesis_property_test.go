@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nbcommit/internal/protocol"
+)
+
+// randomSkeleton builds a random acyclic commit-protocol skeleton: a chain
+// of intermediate states after the vote, with unilateral-abort edges and a
+// final commit. Layers guarantee acyclicity; every skeleton is a plausible
+// "commit protocol a designer might sketch".
+func randomSkeleton(rng *rand.Rand) *protocol.Automaton {
+	layers := 1 + rng.Intn(4) // intermediate states between q and c
+	states := map[protocol.StateID]protocol.StateKind{
+		"q": protocol.KindInitial,
+		"a": protocol.KindAbort,
+		"c": protocol.KindCommit,
+	}
+	ids := []protocol.StateID{"q"}
+	for i := 0; i < layers; i++ {
+		id := protocol.StateID(fmt.Sprintf("m%d", i))
+		states[id] = protocol.KindIntermediate
+		ids = append(ids, id)
+	}
+
+	var trans []protocol.Transition
+	// Vote edges from q: yes into the first intermediate, no into abort.
+	trans = append(trans,
+		protocol.Transition{From: "q", To: ids[1], Vote: protocol.VoteYes},
+		protocol.Transition{From: "q", To: "a", Vote: protocol.VoteNo},
+	)
+	// Chain the intermediates; each may also abort.
+	for i := 1; i < len(ids); i++ {
+		next := protocol.StateID("c")
+		if i+1 < len(ids) {
+			next = ids[i+1]
+		}
+		trans = append(trans, protocol.Transition{From: ids[i], To: next})
+		if rng.Intn(2) == 0 {
+			trans = append(trans, protocol.Transition{From: ids[i], To: "a"})
+		}
+	}
+	// Occasionally a shortcut edge straight to commit from an early layer —
+	// the classic design mistake that creates blocking.
+	if len(ids) > 2 && rng.Intn(2) == 0 {
+		from := ids[1+rng.Intn(len(ids)-2)]
+		trans = append(trans, protocol.Transition{From: from, To: "c"})
+	}
+	return &protocol.Automaton{
+		Site: 1, Name: "random-skel", Initial: "q",
+		States: states, Transitions: trans,
+	}
+}
+
+// TestSynthesisPropertyRandomSkeletons: for 500 random protocol skeletons,
+// the paper's buffer-state method always converges to a lemma-clean
+// (nonblocking under single-transition synchrony) skeleton, never touches an
+// already-clean one, and never introduces cycles or new final states.
+func TestSynthesisPropertyRandomSkeletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(1981))
+	fixedCount := 0
+	for i := 0; i < 500; i++ {
+		skel := randomSkeleton(rng)
+		before := CheckLemma(skel)
+		out, err := MakeNonblockingSkeleton(skel)
+		if err != nil {
+			t.Fatalf("iteration %d: %v\nskeleton: %+v", i, err, skel.Transitions)
+		}
+		after := CheckLemma(out)
+		if len(after) != 0 {
+			t.Fatalf("iteration %d: synthesis left %d lemma violations: %v",
+				i, len(after), after)
+		}
+		if len(before) > 0 {
+			fixedCount++
+		} else if !StructurallyEquivalent(out, skel) {
+			t.Fatalf("iteration %d: clean skeleton was modified", i)
+		}
+		// Structural sanity of the result.
+		finals := 0
+		for _, k := range out.States {
+			if k.Final() {
+				finals++
+			}
+		}
+		if finals != 2 {
+			t.Fatalf("iteration %d: synthesis changed the final states (%d)", i, finals)
+		}
+		for id, k := range skel.States {
+			if out.States[id] != k {
+				t.Fatalf("iteration %d: state %s changed kind", i, id)
+			}
+		}
+	}
+	if fixedCount == 0 {
+		t.Fatal("generator produced no blocking skeletons; property untested")
+	}
+}
+
+// TestSynthesisPreservesVotes: buffer insertion keeps the vote annotations
+// on the rerouted edges (the buffer edge inherits the original vote, the
+// new commit edge carries none).
+func TestSynthesisPreservesVotes(t *testing.T) {
+	out, err := MakeNonblockingSkeleton(protocol.CanonicalTwoPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	yesVotes, noVotes := 0, 0
+	for _, tr := range out.Transitions {
+		switch tr.Vote {
+		case protocol.VoteYes:
+			yesVotes++
+		case protocol.VoteNo:
+			noVotes++
+		}
+	}
+	if yesVotes != 1 || noVotes != 1 {
+		t.Fatalf("votes after synthesis: yes=%d no=%d, want 1/1", yesVotes, noVotes)
+	}
+}

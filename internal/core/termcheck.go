@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"nbcommit/internal/protocol"
+)
+
+// TerminationViolation is a counterexample found by CheckTermination: a
+// reachable global state and crash set for which the termination protocol's
+// decision contradicts a decision already durable at some site.
+type TerminationViolation struct {
+	State *Node
+	// Crashed is the set of failed sites in the scenario.
+	Crashed []protocol.SiteID
+	// Backup is the elected backup coordinator (lowest operational site).
+	Backup protocol.SiteID
+	// Decision is what the rule derives from the backup's local state.
+	Decision Decision
+	// Conflict describes the contradiction.
+	Conflict string
+}
+
+// String renders the counterexample.
+func (v TerminationViolation) String() string {
+	return fmt.Sprintf("state %s crashed %v backup s%d decides %s: %s",
+		v.State, v.Crashed, int(v.Backup), v.Decision, v.Conflict)
+}
+
+// CheckTermination exhaustively model-checks the backup-coordinator decision
+// rule against a protocol's reachable state graph: for every reachable
+// global state and every nonempty proper subset of crashed sites, the
+// elected backup (the lowest-numbered operational site, knowing only its own
+// local state) applies the rule of slide 39. The decision must agree with
+// every final local state in the global state vector — crashed sites
+// included, since their commit/abort records are on stable storage and bind
+// their recovery.
+//
+// Enumerating crash subsets makes every site the backup in some scenario,
+// so the check covers the worst case of the paper's termination section
+// ("in the worst case, all of the operational sites must obey the
+// fundamental nonblocking theorem"). Divergent decisions between two
+// *potential* backups in non-final states are not violations: phase 1 of
+// the backup protocol synchronizes the cohort before any decision escapes,
+// so only the decision actually issued — checked here against every durable
+// final state — matters.
+//
+// For the 3PC protocols the check finds nothing (the sufficiency half of
+// the fundamental theorem); for 2PC it returns the classic counterexamples
+// (a backup in w committing against an abort elsewhere, or vice versa).
+// Subset enumeration is exponential in sites; intended for n <= 5.
+func CheckTermination(g *Graph) []TerminationViolation {
+	a := Analyze(g)
+	n := g.Protocol.N()
+	var out []TerminationViolation
+
+	for _, nd := range g.SortedNodes() {
+		// The decision depends only on the backup's identity, so compute
+		// one violation record per distinct backup rather than per subset;
+		// Crashed records the minimal subset electing that backup
+		// (sites 1..backup-1 crashed).
+		for b := 1; b <= n; b++ {
+			backup := protocol.SiteID(b)
+			d, err := TerminationRule(a, backup, nd.Locals[b-1])
+			if err != nil {
+				continue
+			}
+			conflict := ""
+			for i, local := range nd.Locals {
+				k, kerr := g.Protocol.Sites[i].Kind(local)
+				if kerr != nil {
+					continue
+				}
+				if k == protocol.KindCommit && d != DecideCommit {
+					conflict = fmt.Sprintf("site %d already committed", i+1)
+					break
+				}
+				if k == protocol.KindAbort && d != DecideAbort {
+					conflict = fmt.Sprintf("site %d already aborted", i+1)
+					break
+				}
+			}
+			if conflict == "" {
+				continue
+			}
+			var crashed []protocol.SiteID
+			for i := 1; i < b; i++ {
+				crashed = append(crashed, protocol.SiteID(i))
+			}
+			out = append(out, TerminationViolation{
+				State: nd, Crashed: crashed, Backup: backup,
+				Decision: d, Conflict: conflict,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nbcommit/internal/protocol"
+)
+
+// ViolationKind distinguishes the two conditions of the fundamental
+// nonblocking theorem.
+type ViolationKind int
+
+const (
+	// MixedConcurrency: the state's concurrency set contains both an abort
+	// and a commit state (condition 1 of the theorem).
+	MixedConcurrency ViolationKind = iota
+	// NoncommittableSeesCommit: the state is noncommittable and its
+	// concurrency set contains a commit state (condition 2).
+	NoncommittableSeesCommit
+)
+
+// String names the violated condition.
+func (k ViolationKind) String() string {
+	switch k {
+	case MixedConcurrency:
+		return "concurrency set contains both an abort and a commit state"
+	case NoncommittableSeesCommit:
+		return "noncommittable state whose concurrency set contains a commit state"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation records one local state that breaks the fundamental nonblocking
+// theorem, together with the offending concurrency set.
+type Violation struct {
+	Kind  ViolationKind
+	State LocalState
+	Set   *CSet
+}
+
+// String renders e.g.
+// "s2:w blocks: noncommittable state whose concurrency set contains a commit state; CS(s2:w) = {a, c, q, w}".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s blocks: %s; %s", v.State, v.Kind, v.Set)
+}
+
+// TheoremReport is the outcome of checking the fundamental nonblocking
+// theorem against a protocol's reachable state graph.
+type TheoremReport struct {
+	Protocol   string
+	Analysis   *Analysis
+	Violations []Violation
+}
+
+// Nonblocking reports whether the protocol satisfies both conditions of the
+// theorem at every site: operational sites can always terminate the
+// transaction consistently using local state alone, whatever sites have
+// failed.
+func (r *TheoremReport) Nonblocking() bool { return len(r.Violations) == 0 }
+
+// String summarizes the report.
+func (r *TheoremReport) String() string {
+	if r.Nonblocking() {
+		return fmt.Sprintf("%s: NONBLOCKING (both theorem conditions hold at every site)", r.Protocol)
+	}
+	lines := make([]string, 0, len(r.Violations)+1)
+	lines = append(lines, fmt.Sprintf("%s: BLOCKING (%d violations)", r.Protocol, len(r.Violations)))
+	for _, v := range r.Violations {
+		lines = append(lines, "  "+v.String())
+	}
+	return strings.Join(lines, "\n")
+}
+
+// CheckTheorem evaluates the fundamental nonblocking theorem: a protocol is
+// nonblocking if and only if, at every participating site,
+//
+//  1. there exists no local state whose concurrency set contains both an
+//     abort and a commit state, and
+//  2. there exists no noncommittable state whose concurrency set contains a
+//     commit state.
+//
+// Violations are reported per occupied local state, in deterministic order.
+func CheckTheorem(g *Graph) *TheoremReport {
+	a := Analyze(g)
+	r := &TheoremReport{Protocol: g.Protocol.Name, Analysis: a}
+
+	var locals []LocalState
+	for l := range a.Sets {
+		locals = append(locals, l)
+	}
+	sort.Slice(locals, func(i, j int) bool {
+		if locals[i].Site != locals[j].Site {
+			return locals[i].Site < locals[j].Site
+		}
+		return locals[i].State < locals[j].State
+	})
+	for _, l := range locals {
+		cs := a.Sets[l]
+		hasCommit := a.ContainsCommit(cs)
+		hasAbort := a.ContainsAbort(cs)
+		if hasCommit && hasAbort {
+			r.Violations = append(r.Violations, Violation{Kind: MixedConcurrency, State: l, Set: cs})
+		}
+		if hasCommit && !a.Committable[l] {
+			r.Violations = append(r.Violations, Violation{Kind: NoncommittableSeesCommit, State: l, Set: cs})
+		}
+	}
+	return r
+}
+
+// CheckResilience evaluates the corollary to the fundamental theorem: a
+// commit protocol is nonblocking with respect to k-1 site failures iff there
+// is a subset of k sites all of which obey both conditions of the theorem.
+// It returns the largest set of sites at which every occupied local state
+// satisfies both conditions; the protocol tolerates len(result)-1 failures
+// among... — precisely, it remains nonblocking as long as one site of the
+// returned set remains operational.
+func CheckResilience(g *Graph) []protocol.SiteID {
+	r := CheckTheorem(g)
+	bad := map[protocol.SiteID]bool{}
+	for _, v := range r.Violations {
+		bad[v.State.Site] = true
+	}
+	var good []protocol.SiteID
+	for i := 1; i <= g.Protocol.N(); i++ {
+		if !bad[protocol.SiteID(i)] {
+			good = append(good, protocol.SiteID(i))
+		}
+	}
+	return good
+}
+
+// LemmaViolation records a violation of the paper's lemma for protocols
+// synchronous within one state transition.
+type LemmaViolation struct {
+	State protocol.StateID
+	Kind  ViolationKind
+	// Adjacent are the offending neighbor states.
+	Adjacent []protocol.StateID
+}
+
+// String renders the violation.
+func (v LemmaViolation) String() string {
+	parts := make([]string, len(v.Adjacent))
+	for i, s := range v.Adjacent {
+		parts[i] = string(s)
+	}
+	return fmt.Sprintf("state %s: %s (neighbors: %s)", v.State, v.Kind, strings.Join(parts, ", "))
+}
+
+// CheckLemma applies the lemma (slide 33) to a single canonical automaton:
+// a protocol which is synchronous within one state transition is nonblocking
+// iff (i) it contains no local state adjacent to both a commit and an abort
+// state, and (ii) it contains no noncommittable state adjacent to a commit
+// state. Adjacency is neighborhood in the (undirected) state diagram;
+// committability is evaluated at the skeleton level, where, under synchrony
+// within one transition, the concurrency set of s is s plus its neighbors.
+func CheckLemma(a *protocol.Automaton) []LemmaViolation {
+	yes := votedYesStates(a)
+	neighbors := func(s protocol.StateID) []protocol.StateID {
+		set := map[protocol.StateID]bool{}
+		for _, t := range a.Transitions {
+			if t.From == s {
+				set[t.To] = true
+			}
+			if t.To == s {
+				set[t.From] = true
+			}
+		}
+		out := make([]protocol.StateID, 0, len(set))
+		for n := range set {
+			out = append(out, n)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	// Skeleton committability: CS(s) = {s} ∪ neighbors(s); s is committable
+	// iff every member has voted yes.
+	committable := func(s protocol.StateID) bool {
+		if !yes[s] {
+			return false
+		}
+		for _, n := range neighbors(s) {
+			if !yes[n] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []LemmaViolation
+	ids := a.StateIDs()
+	for _, s := range ids {
+		if _, reachable := yes[s]; !reachable {
+			continue
+		}
+		var commits, aborts []protocol.StateID
+		for _, n := range neighbors(s) {
+			switch a.States[n] {
+			case protocol.KindCommit:
+				commits = append(commits, n)
+			case protocol.KindAbort:
+				aborts = append(aborts, n)
+			}
+		}
+		if len(commits) > 0 && len(aborts) > 0 {
+			out = append(out, LemmaViolation{
+				State: s, Kind: MixedConcurrency,
+				Adjacent: append(append([]protocol.StateID{}, aborts...), commits...),
+			})
+		}
+		if len(commits) > 0 && !committable(s) {
+			out = append(out, LemmaViolation{State: s, Kind: NoncommittableSeesCommit, Adjacent: commits})
+		}
+	}
+	return out
+}
+
+// Decision is the outcome chosen for a transaction.
+type Decision int
+
+const (
+	// DecideAbort terminates the transaction by aborting at all operational
+	// sites.
+	DecideAbort Decision = iota
+	// DecideCommit terminates the transaction by committing at all
+	// operational sites.
+	DecideCommit
+)
+
+// String returns "abort" or "commit".
+func (d Decision) String() string {
+	if d == DecideCommit {
+		return "commit"
+	}
+	return "abort"
+}
+
+// TerminationRule is the paper's decision rule for backup coordinators
+// (slide 39): if the concurrency set for the current state of the backup
+// coordinator contains a commit state, the transaction is committed;
+// otherwise it is aborted. For the canonical 3PC this commits from {p, c}
+// and aborts from {q, w, a} (slide 40).
+func TerminationRule(a *Analysis, site protocol.SiteID, s protocol.StateID) (Decision, error) {
+	l := LocalState{Site: site, State: s}
+	aut, err := a.Graph.Protocol.Site(site)
+	if err != nil {
+		return DecideAbort, err
+	}
+	k, err := aut.Kind(s)
+	if err != nil {
+		return DecideAbort, err
+	}
+	// A backup already in a final state dictates its own outcome.
+	switch k {
+	case protocol.KindCommit:
+		return DecideCommit, nil
+	case protocol.KindAbort:
+		return DecideAbort, nil
+	}
+	cs, ok := a.Sets[l]
+	if !ok {
+		return DecideAbort, fmt.Errorf("core: site %d never occupies state %q", int(site), s)
+	}
+	if a.ContainsCommit(cs) {
+		return DecideCommit, nil
+	}
+	return DecideAbort, nil
+}

@@ -1,0 +1,42 @@
+package dtx_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nbcommit/internal/dtx"
+	"nbcommit/internal/engine"
+)
+
+// A distributed transaction across three sites, committed with the
+// nonblocking three-phase commit protocol.
+func Example() {
+	cluster, err := dtx.NewCluster(3, dtx.Options{Protocol: engine.ThreePhase})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	tx, err := cluster.Begin(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Put(2, "user", "alice"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Put(3, "balance", "100"); err != nil {
+		log.Fatal(err)
+	}
+	outcome, err := tx.Commit(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("outcome:", outcome)
+
+	v, _ := cluster.Node(2).Store.Read("user")
+	fmt.Println("site 2 user:", v)
+	// Output:
+	// outcome: committed
+	// site 2 user: alice
+}

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// Begin starts a distributed commit with this site as the coordinator.
+// participants is the full cohort; the coordinator is added if absent. The
+// call returns once the protocol is underway; use WaitOutcome to collect the
+// decision.
+//
+// The coordinator votes too (the paper's parenthesized (yes1)/(no1)): its
+// own Resource.Prepare must succeed for the transaction to commit.
+func (s *Site) Begin(txid string, participants []int) error {
+	cohort := normalizeCohort(s.id, participants)
+	meta := TxMeta{Coordinator: s.id, Participants: cohort}
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if _, ok := s.txns[txid]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("engine: site %d already has transaction %s", s.id, txid)
+	}
+	t := s.tx(txid)
+	t.coordinator = true
+	t.meta = meta
+	t.votes = map[int]bool{}
+	t.acks = map[int]bool{}
+	s.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: encodeMeta(meta)})
+	s.armTimer(t, s.timeout)
+	s.mu.Unlock()
+
+	// First phase: distribute the transaction ("Start Xact" / VOTE-REQ).
+	body := encodeMeta(meta)
+	for _, p := range cohort {
+		if p != s.id {
+			s.send(p, KindVoteReq, txid, body)
+		}
+	}
+
+	// The coordinator's own vote, off the event loop so a slow local
+	// prepare doesn't stall message processing.
+	go func() {
+		redo, err := s.res.Prepare(txid)
+		select {
+		case s.events <- event{vote: &voteResult{txid: txid, redo: redo, err: err, own: true}}:
+		case <-s.quit:
+		}
+	}()
+	return nil
+}
+
+// normalizeCohort sorts, deduplicates, and ensures self is present.
+func normalizeCohort(self int, participants []int) []int {
+	seen := map[int]bool{self: true}
+	out := []int{self}
+	for _, p := range participants {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// onVote handles YES/NO from a participant (coordinator role).
+func (s *Site) onVote(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok || !t.coordinator || t.resolved() {
+		return
+	}
+	if m.Kind == KindNo {
+		t.noVote = true
+		s.decideAbort(t)
+		return
+	}
+	if t.votes == nil {
+		t.votes = map[int]bool{}
+	}
+	t.votes[m.From] = true
+	s.maybeAllVotes(t)
+}
+
+// onOwnVote handles the coordinator's local prepare result.
+func (s *Site) onOwnVote(v *voteResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[v.txid]
+	if !ok || !t.coordinator || t.resolved() {
+		return
+	}
+	if v.err != nil {
+		t.noVote = true
+		s.decideAbort(t)
+		return
+	}
+	t.redo = v.redo
+	t.ownYes = true
+	s.maybeAllVotes(t)
+}
+
+// maybeAllVotes advances when the coordinator holds a YES from every other
+// participant plus its own. Requires s.mu held.
+func (s *Site) maybeAllVotes(t *txState) {
+	if t.phase != phaseInit || !t.ownYes {
+		return
+	}
+	for _, p := range t.meta.Participants {
+		if p != s.id && !t.votes[p] {
+			return
+		}
+	}
+	if s.kind == TwoPhase {
+		s.decideCommit(t)
+		return
+	}
+	// 3PC: enter the buffer state and run the prepare round.
+	s.mustLog(wal.Record{Type: wal.RecPrepared, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
+	t.phase = phasePrepared
+	for _, p := range t.meta.Participants {
+		if p != s.id {
+			s.send(p, KindPrepare, t.id, nil)
+		}
+	}
+	s.armTimer(t, s.timeout)
+	s.maybeAllAcks(t) // a 2-site cohort with a crashed slave resolves now
+}
+
+// onAck handles a participant's PREPARE acknowledgement. Requires 3PC.
+func (s *Site) onAck(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok || !t.coordinator || t.phase != phasePrepared {
+		return
+	}
+	if t.acks == nil {
+		t.acks = map[int]bool{}
+	}
+	t.acks[m.From] = true
+	s.maybeAllAcks(t)
+}
+
+// maybeAllAcks commits once every operational participant has acknowledged
+// the prepare. Crashed participants are waived: they voted YES, so their
+// recovery protocol will learn the commit from the cohort. Requires s.mu
+// held.
+func (s *Site) maybeAllAcks(t *txState) {
+	if t.phase != phasePrepared || !t.coordinator {
+		return
+	}
+	for _, p := range t.meta.Participants {
+		if p != s.id && !t.acks[p] && s.det.Alive(p) {
+			return
+		}
+	}
+	s.decideCommit(t)
+}
+
+// decideCommit records and broadcasts the commit decision. Requires s.mu
+// held.
+func (s *Site) decideCommit(t *txState) {
+	s.resolve(t, OutcomeCommitted)
+	for _, p := range t.meta.Participants {
+		if p != s.id {
+			s.send(p, KindCommit, t.id, nil)
+		}
+	}
+}
+
+// decideAbort records and broadcasts the abort decision. Requires s.mu held.
+func (s *Site) decideAbort(t *txState) {
+	s.resolve(t, OutcomeAborted)
+	for _, p := range t.meta.Participants {
+		if p != s.id {
+			s.send(p, KindAbort, t.id, nil)
+		}
+	}
+}
+
+// coordinatorTimeout fires when vote or ack collection stalls. Requires
+// s.mu held.
+func (s *Site) coordinatorTimeout(t *txState) {
+	switch t.phase {
+	case phaseInit:
+		// Missing votes: abort. A crashed or partitioned participant is
+		// indistinguishable from a NO for commit purposes.
+		s.decideAbort(t)
+	case phasePrepared:
+		// Resend PREPARE to laggards and re-check with crashed sites
+		// waived.
+		s.maybeAllAcks(t)
+		if t.resolved() {
+			return
+		}
+		for _, p := range t.meta.Participants {
+			if p != s.id && !t.acks[p] && s.det.Alive(p) {
+				s.send(p, KindPrepare, t.id, nil)
+			}
+		}
+		s.armTimer(t, s.timeout)
+	}
+}
+
+// coordinatorCrashCheck re-evaluates a coordinator transaction after a
+// participant crash. Requires s.mu held.
+func (s *Site) coordinatorCrashCheck(t *txState, crashed int) {
+	if t.resolved() {
+		return
+	}
+	inCohort := false
+	for _, p := range t.meta.Participants {
+		if p == crashed {
+			inCohort = true
+			break
+		}
+	}
+	if !inCohort {
+		return
+	}
+	switch t.phase {
+	case phaseInit:
+		if !t.votes[crashed] {
+			// The participant crashed before voting: it will abort on
+			// recovery (failure before the commit point), so the
+			// transaction must abort.
+			s.decideAbort(t)
+		}
+	case phasePrepared:
+		s.maybeAllAcks(t)
+	}
+}

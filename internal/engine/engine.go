@@ -1,0 +1,619 @@
+// Package engine executes commit protocols at real sites: goroutine-driven
+// coordinators and participants exchanging messages over a transport,
+// forcing protocol state to a write-ahead log, detecting site failures, and
+// running the paper's termination protocol (backup-coordinator election plus
+// the two-phase backup protocol) and recovery protocol.
+//
+// The engine implements the central-site paradigm for both two-phase commit
+// (which blocks when the coordinator fails at the wrong moment) and
+// three-phase commit (the paper's nonblocking protocol, with the buffer
+// state "prepared"). The local states a site moves through are exactly the
+// canonical q → w → (p) → c / a of the paper's FSAs; the wal records are
+// their durable images.
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nbcommit/internal/failure"
+	"nbcommit/internal/trace"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// ProtocolKind selects the commit protocol a site runs.
+type ProtocolKind int
+
+const (
+	// TwoPhase is the central-site 2PC of slide 15 (blocking).
+	TwoPhase ProtocolKind = iota
+	// ThreePhase is the central-site 3PC of slide 35 (nonblocking).
+	ThreePhase
+)
+
+// String names the protocol.
+func (k ProtocolKind) String() string {
+	if k == ThreePhase {
+		return "3PC"
+	}
+	return "2PC"
+}
+
+// Outcome is the resolution of a transaction at a site.
+type Outcome int
+
+const (
+	// OutcomePending: the protocol has not resolved the transaction yet.
+	OutcomePending Outcome = iota
+	// OutcomeCommitted: the transaction committed.
+	OutcomeCommitted
+	// OutcomeAborted: the transaction aborted.
+	OutcomeAborted
+)
+
+// String returns "pending", "committed" or "aborted".
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeAborted:
+		return "aborted"
+	default:
+		return "pending"
+	}
+}
+
+// ErrBlocked is reported when a 2PC participant is stuck in the uncertainty
+// window: it voted YES, the coordinator failed, and every operational cohort
+// member is equally uncertain. The transaction can only be resolved when the
+// coordinator recovers. 3PC never returns this.
+var ErrBlocked = errors.New("engine: transaction blocked awaiting coordinator recovery")
+
+// ErrStopped is returned when the site has been stopped or crashed.
+var ErrStopped = errors.New("engine: site is stopped")
+
+// Resource is the local resource manager whose changes the protocol makes
+// atomic. Prepare is the participant's vote: returning an error votes NO.
+// The redo image returned by Prepare is forced to the WAL and handed back on
+// Commit. ApplyRedo replays a committed redo image during recovery, when the
+// resource no longer holds the live transaction.
+type Resource interface {
+	Prepare(txid string) (redo []byte, err error)
+	Commit(txid string, redo []byte) error
+	Abort(txid string) error
+	ApplyRedo(redo []byte) error
+}
+
+// Message kinds exchanged by the engine.
+const (
+	KindVoteReq   = "VOTE-REQ"   // coordinator: transaction + cohort metadata
+	KindYes       = "YES"        // participant vote
+	KindNo        = "NO"         // participant vote (unilateral abort)
+	KindPrepare   = "PREPARE"    // coordinator: enter the buffer state (3PC)
+	KindAck       = "ACK"        // participant: acknowledged prepare
+	KindCommit    = "COMMIT"     // final decision
+	KindAbort     = "ABORT"      // final decision
+	KindTermState = "TERM-STATE" // backup phase 1: move to my state
+	KindTermAck   = "TERM-ACK"   // phase-1 acknowledgement
+	KindStatusReq = "STATUS-REQ" // 2PC cooperative termination query
+	KindStatusRes = "STATUS-RES" // reply: local phase
+	KindDecideReq = "DECIDE-REQ" // recovery: what happened to tx?
+	KindDecideRes = "DECIDE-RES" // reply: outcome if known
+)
+
+// TxMeta describes a transaction's cohort; the coordinator ships it with
+// VOTE-REQ so every participant can run termination and recovery without it.
+type TxMeta struct {
+	Coordinator  int
+	Participants []int // full cohort, coordinator included
+}
+
+// encodeMeta/decodeMeta gob-serialize TxMeta for message bodies.
+func encodeMeta(m TxMeta) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("engine: encode meta: %v", err)) // cannot fail for this type
+	}
+	return buf.Bytes()
+}
+
+func decodeMeta(p []byte) (TxMeta, error) {
+	var m TxMeta
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&m); err != nil {
+		return TxMeta{}, fmt.Errorf("engine: decode meta: %w", err)
+	}
+	return m, nil
+}
+
+// phase is the canonical local state of the paper's FSAs.
+type phase int
+
+const (
+	phaseInit      phase = iota // q: transaction known, not yet voted
+	phaseWait                   // w: voted YES, outcome unknown
+	phasePrepared               // p: buffer state (3PC only)
+	phaseCommitted              // c
+	phaseAborted                // a
+)
+
+// String names the phase with the paper's state letters.
+func (p phase) String() string {
+	switch p {
+	case phaseInit:
+		return "q"
+	case phaseWait:
+		return "w"
+	case phasePrepared:
+		return "p"
+	case phaseCommitted:
+		return "c"
+	case phaseAborted:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+// txState is a site's view of one transaction.
+type txState struct {
+	id    string
+	meta  TxMeta
+	phase phase
+	redo  []byte
+
+	coordinator bool
+	votes       map[int]bool // coordinator: YES votes received
+	acks        map[int]bool // coordinator: ACKs received
+	ownYes      bool         // coordinator: local prepare succeeded
+	noVote      bool         // coordinator: some participant voted NO
+
+	termAcks   map[int]bool // backup coordinator: phase-1 acks
+	termActive bool         // backup coordinator: termination underway
+	statuses   map[int]byte // 2PC cooperative termination: cohort phases
+	queried    bool         // 2PC cooperative termination started
+	excluded   map[int]bool // sites refusing the backup role (recovering)
+	blocked    bool         // 2PC uncertainty: termination could not decide
+	recovering bool         // in-doubt after restart; refuses the backup role
+	detached   bool         // resource no longer tracks this txn (recovery)
+	voting     bool         // participant: local prepare in flight
+	peer       bool         // decentralized paradigm (no coordinator)
+	dvotes     map[int]byte // decentralized: vote round ('y'/'n' per site)
+	dprepares  map[int]bool // decentralized 3PC: prepare round
+
+	timer *time.Timer // participant decision / coordinator collection timer
+	done  chan struct{}
+}
+
+func (t *txState) resolved() bool {
+	return t.phase == phaseCommitted || t.phase == phaseAborted
+}
+
+// Config assembles a site's dependencies.
+type Config struct {
+	// ID is the site's identifier (1-based; any positive int).
+	ID int
+	// Endpoint attaches the site to the network.
+	Endpoint transport.Endpoint
+	// Log is the site's stable storage.
+	Log wal.Log
+	// Resource is the local resource manager. Required.
+	Resource Resource
+	// Detector reports site failures.
+	Detector failure.Detector
+	// Protocol selects 2PC or 3PC.
+	Protocol ProtocolKind
+	// Timeout bounds each wait for a protocol message before suspecting a
+	// failure and (for participants) invoking the termination protocol.
+	// Zero means 200ms.
+	Timeout time.Duration
+	// Unhandled, when set, receives every message whose kind the engine
+	// does not recognize — heartbeats, application data-plane traffic, and
+	// anything else multiplexed onto the site's endpoint. Called on the
+	// site's event loop; keep it fast.
+	Unhandled func(transport.Message)
+	// Trace, when set, records the site's protocol events (votes, state
+	// transitions, termination and recovery milestones).
+	Trace *trace.Recorder
+}
+
+// Site executes commit protocols for one node. Create with New, start with
+// Start, and stop with Stop (graceful) or Crash (fault injection).
+type Site struct {
+	id        int
+	ep        transport.Endpoint
+	log       wal.Log
+	res       Resource
+	det       failure.Detector
+	kind      ProtocolKind
+	timeout   time.Duration
+	unhandled func(transport.Message)
+	trace     *trace.Recorder
+
+	mu      sync.Mutex
+	txns    map[string]*txState
+	stopped bool
+
+	events chan event
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// event is an internal occurrence handled on the site's single event loop.
+type event struct {
+	msg     *transport.Message
+	timeout string // txid whose timer fired
+	crashed int    // site reported crashed by the detector
+	vote    *voteResult
+}
+
+// voteResult carries a Resource.Prepare outcome back onto the event loop.
+type voteResult struct {
+	txid string
+	redo []byte
+	err  error
+	own  bool // the coordinator's local vote rather than a participant's
+	peer bool // a decentralized peer's local vote
+}
+
+// votePayload is the durable image a participant forces with its YES vote:
+// enough to run termination and recovery without the coordinator.
+type votePayload struct {
+	Meta TxMeta
+	Redo []byte
+}
+
+func encodeVotePayload(meta TxMeta, redo []byte) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(votePayload{Meta: meta, Redo: redo}); err != nil {
+		panic(fmt.Sprintf("engine: encode vote payload: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeVotePayload(p []byte) (votePayload, error) {
+	var v votePayload
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
+		return votePayload{}, fmt.Errorf("engine: decode vote payload: %w", err)
+	}
+	return v, nil
+}
+
+// New assembles a site. Call Start to begin processing.
+func New(cfg Config) (*Site, error) {
+	if cfg.Endpoint == nil || cfg.Log == nil || cfg.Resource == nil || cfg.Detector == nil {
+		return nil, errors.New("engine: Endpoint, Log, Resource and Detector are required")
+	}
+	to := cfg.Timeout
+	if to == 0 {
+		to = 200 * time.Millisecond
+	}
+	s := &Site{
+		id:        cfg.ID,
+		ep:        cfg.Endpoint,
+		log:       cfg.Log,
+		res:       cfg.Resource,
+		det:       cfg.Detector,
+		kind:      cfg.Protocol,
+		timeout:   to,
+		unhandled: cfg.Unhandled,
+		trace:     cfg.Trace,
+		txns:      map[string]*txState{},
+		events:    make(chan event, 1024),
+		quit:      make(chan struct{}),
+	}
+	return s, nil
+}
+
+// ID returns the site's identifier.
+func (s *Site) ID() int { return s.id }
+
+// Start launches the event loop and subscribes to crash reports.
+func (s *Site) Start() {
+	s.det.Watch(func(site int) {
+		select {
+		case s.events <- event{crashed: site}:
+		case <-s.quit:
+		}
+	})
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Stop shuts the site down gracefully. In-flight transactions stay
+// unresolved locally.
+func (s *Site) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	for _, t := range s.txns {
+		if t.timer != nil {
+			t.timer.Stop()
+		}
+	}
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// loop is the site's single event loop; all protocol state changes happen
+// here.
+func (s *Site) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case ev := <-s.events:
+			s.handleEvent(ev)
+		case m, ok := <-s.ep.Recv():
+			if !ok {
+				// Endpoint closed under us: the site crashed.
+				return
+			}
+			s.handleEvent(event{msg: &m})
+		}
+	}
+}
+
+func (s *Site) handleEvent(ev event) {
+	switch {
+	case ev.msg != nil:
+		s.handleMessage(*ev.msg)
+	case ev.timeout != "":
+		s.handleTimeout(ev.timeout)
+	case ev.crashed != 0:
+		s.handleCrash(ev.crashed)
+	case ev.vote != nil:
+		switch {
+		case ev.vote.own:
+			s.onOwnVote(ev.vote)
+		case ev.vote.peer:
+			s.onPeerVoteResult(ev.vote)
+		default:
+			s.onPrepareResult(ev.vote)
+		}
+	}
+}
+
+// handleMessage dispatches a protocol message by kind.
+func (s *Site) handleMessage(m transport.Message) {
+	switch m.Kind {
+	case KindVoteReq:
+		s.onVoteReq(m)
+	case KindYes, KindNo:
+		s.onVote(m)
+	case KindPrepare:
+		s.onPrepareMsg(m)
+	case KindAck:
+		s.onAck(m)
+	case KindCommit:
+		s.onDecision(m, OutcomeCommitted)
+	case KindAbort:
+		s.onDecision(m, OutcomeAborted)
+	case KindTermState:
+		s.onTermState(m)
+	case KindTermAck:
+		s.onTermAck(m)
+	case KindStatusReq:
+		s.onStatusReq(m)
+	case KindStatusRes:
+		s.onStatusRes(m)
+	case KindDecideReq:
+		s.onDecideReq(m)
+	case KindDecideRes:
+		s.onDecideRes(m)
+	case KindDXact:
+		s.onDXact(m)
+	case KindDYes, KindDNo:
+		s.onDVote(m)
+	case KindDPrepare:
+		s.onDPrepare(m)
+	default:
+		if s.unhandled != nil {
+			s.unhandled(m)
+		}
+	}
+}
+
+// send transmits a protocol message, ignoring delivery failures (crash-stop
+// losses are handled by timeouts and the termination protocol).
+func (s *Site) send(to int, kind, txid string, body []byte) {
+	_ = s.ep.Send(transport.Message{To: to, Kind: kind, TxID: txid, Body: body})
+}
+
+// record emits a trace event if tracing is enabled.
+func (s *Site) record(kind, txid, note string) {
+	if s.trace != nil {
+		s.trace.Add(s.id, kind, txid, note)
+	}
+}
+
+// mustLog forces a WAL record; a stable-storage failure is fatal for the
+// site (it can no longer uphold its guarantees), surfaced as a panic in this
+// reference implementation.
+func (s *Site) mustLog(rec wal.Record) {
+	if _, err := s.log.Append(rec); err != nil {
+		panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, err))
+	}
+}
+
+// armTimer (re)starts the transaction's protocol timer.
+func (s *Site) armTimer(t *txState, d time.Duration) {
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	txid := t.id
+	t.timer = time.AfterFunc(d, func() {
+		select {
+		case s.events <- event{timeout: txid}:
+		case <-s.quit:
+		}
+	})
+}
+
+// Outcome reports the site's local resolution of a transaction.
+// ErrBlocked is returned while a 2PC participant sits in the uncertainty
+// window with no way to decide.
+func (s *Site) Outcome(txid string) (Outcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[txid]
+	if !ok {
+		return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
+	}
+	switch t.phase {
+	case phaseCommitted:
+		return OutcomeCommitted, nil
+	case phaseAborted:
+		return OutcomeAborted, nil
+	default:
+		if t.blocked {
+			return OutcomePending, ErrBlocked
+		}
+		return OutcomePending, nil
+	}
+}
+
+// WaitOutcome blocks until the transaction resolves locally or the timeout
+// elapses. A transaction this site has not heard of yet is waited for (its
+// VOTE-REQ may still be in flight). A blocked 2PC transaction keeps
+// WaitOutcome waiting (it may unblock when the coordinator recovers); use
+// Outcome to poll for ErrBlocked.
+func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		t, ok := s.txns[txid]
+		var done chan struct{}
+		if ok {
+			done = t.done
+		}
+		s.mu.Unlock()
+
+		if !ok {
+			// Not heard of yet: poll briefly for it to appear.
+			if time.Now().After(deadline) {
+				return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
+			}
+			select {
+			case <-time.After(time.Millisecond):
+				continue
+			case <-s.quit:
+				return OutcomePending, ErrStopped
+			}
+		}
+		select {
+		case <-done:
+			return s.Outcome(txid)
+		case <-time.After(time.Until(deadline)):
+			return s.Outcome(txid)
+		case <-s.quit:
+			return OutcomePending, ErrStopped
+		}
+	}
+}
+
+// Phase returns the canonical local state letter (q/w/p/c/a) of the
+// transaction at this site, or "?" if unknown. Exposed for tests and the
+// termination protocol's observers.
+func (s *Site) Phase(txid string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.txns[txid]; ok {
+		return t.phase.String()
+	}
+	return "?"
+}
+
+// resolve finishes a transaction locally: applies the outcome to the
+// resource, stops timers, and wakes waiters. Requires s.mu held.
+func (s *Site) resolve(t *txState, o Outcome) {
+	if t.resolved() {
+		return
+	}
+	if o == OutcomeCommitted {
+		s.record("commit", t.id, "")
+		s.mustLog(wal.Record{Type: wal.RecCommitted, TxID: t.id, Payload: t.redo})
+		t.phase = phaseCommitted
+		if t.detached {
+			// The resource no longer tracks this transaction (it was
+			// rebuilt by recovery); apply the redo image directly.
+			if len(t.redo) > 0 {
+				if err := s.res.ApplyRedo(t.redo); err != nil {
+					panic(fmt.Sprintf("engine: site %d cannot redo %s: %v", s.id, t.id, err))
+				}
+			}
+		} else if err := s.res.Commit(t.id, t.redo); err != nil {
+			panic(fmt.Sprintf("engine: site %d cannot commit prepared transaction %s: %v", s.id, t.id, err))
+		}
+	} else {
+		s.record("abort", t.id, "")
+		s.mustLog(wal.Record{Type: wal.RecAborted, TxID: t.id})
+		t.phase = phaseAborted
+		if !t.detached {
+			_ = s.res.Abort(t.id) // aborts are idempotent
+		}
+	}
+	t.blocked = false
+	if t.timer != nil {
+		t.timer.Stop()
+		t.timer = nil
+	}
+	close(t.done)
+}
+
+// tx returns (creating if needed) the transaction record. Requires s.mu
+// held.
+func (s *Site) tx(txid string) *txState {
+	t, ok := s.txns[txid]
+	if !ok {
+		t = &txState{id: txid, phase: phaseInit, done: make(chan struct{})}
+		s.txns[txid] = t
+	}
+	return t
+}
+
+// Forget garbage-collects a resolved transaction: it forces an end record
+// (so recovery skips the transaction entirely) and drops the in-memory
+// state. Forgetting an unresolved transaction is an error — its protocol
+// state is still load-bearing.
+func (s *Site) Forget(txid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[txid]
+	if !ok {
+		return nil // already forgotten
+	}
+	if !t.resolved() {
+		return fmt.Errorf("engine: site %d cannot forget unresolved transaction %s (phase %s)",
+			s.id, txid, t.phase)
+	}
+	s.mustLog(wal.Record{Type: wal.RecEnd, TxID: txid})
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	delete(s.txns, txid)
+	return nil
+}
+
+// Transactions returns the IDs of the transactions this site currently
+// tracks, for observability and tests.
+func (s *Site) Transactions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.txns))
+	for id := range s.txns {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// onVoteReq handles the coordinator's transaction distribution: the
+// participant decides its vote by preparing the local resource.
+func (s *Site) onVoteReq(m transport.Message) {
+	meta, err := decodeMeta(m.Body)
+	if err != nil {
+		return // malformed; the coordinator will time out and abort
+	}
+	s.mu.Lock()
+	t := s.tx(m.TxID)
+	if t.phase != phaseInit || t.coordinator || t.voting {
+		s.mu.Unlock()
+		return // duplicate delivery
+	}
+	t.meta = meta
+	t.voting = true
+	s.mu.Unlock()
+
+	// Vote off the event loop: Prepare may wait on locks.
+	go func() {
+		redo, err := s.res.Prepare(m.TxID)
+		select {
+		case s.events <- event{vote: &voteResult{txid: m.TxID, redo: redo, err: err}}:
+		case <-s.quit:
+		}
+	}()
+}
+
+// onPrepareResult finishes the participant's vote once the local prepare
+// resolves.
+func (s *Site) onPrepareResult(v *voteResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[v.txid]
+	if !ok || t.resolved() || t.phase != phaseInit {
+		return // e.g. the coordinator timed out and aborted us meanwhile
+	}
+	if v.err != nil {
+		// Unilateral abort: vote NO (deadlock resolution, validation
+		// failure, ...), then abort immediately — the outcome is decided
+		// for us.
+		s.record("vote-no", t.id, v.err.Error())
+		s.mustLog(wal.Record{Type: wal.RecVoteNo, TxID: t.id})
+		s.send(t.meta.Coordinator, KindNo, t.id, nil)
+		s.resolve(t, OutcomeAborted)
+		return
+	}
+	t.redo = v.redo
+	s.record("vote-yes", t.id, "")
+	s.mustLog(wal.Record{Type: wal.RecVoteYes, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
+	t.phase = phaseWait
+	s.send(t.meta.Coordinator, KindYes, t.id, nil)
+	s.armTimer(t, s.timeout)
+}
+
+// onPrepareMsg moves a participant into the buffer state p (3PC).
+func (s *Site) onPrepareMsg(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok {
+		return
+	}
+	switch t.phase {
+	case phaseWait:
+		s.record("prepared", t.id, "")
+		s.mustLog(wal.Record{Type: wal.RecPrepared, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
+		t.phase = phasePrepared
+		s.send(m.From, KindAck, t.id, nil)
+		s.armTimer(t, s.timeout)
+	case phasePrepared:
+		s.send(m.From, KindAck, t.id, nil) // duplicate PREPARE: re-ack
+	}
+}
+
+// onDecision applies a COMMIT/ABORT from the coordinator (or a backup
+// coordinator, or a recovered site re-broadcasting).
+func (s *Site) onDecision(m transport.Message, o Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok {
+		if o == OutcomeCommitted {
+			// A commit for a transaction we never saw can only follow a
+			// lost VOTE-REQ — and then we never voted YES, so no correct
+			// cohort commits. Ignore rather than corrupt state.
+			return
+		}
+		// Abort for an unknown transaction: record it so repeated queries
+		// resolve instantly, with no resource attached.
+		t = s.tx(m.TxID)
+		t.detached = true
+	}
+	if t.resolved() {
+		return
+	}
+	s.resolve(t, o)
+}
+
+// handleTimeout drives a transaction whose protocol wait expired.
+func (s *Site) handleTimeout(txid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[txid]
+	if !ok || t.resolved() {
+		return
+	}
+	if t.coordinator {
+		s.coordinatorTimeout(t)
+		return
+	}
+	if t.peer {
+		s.peerTimeout(t)
+		return
+	}
+	s.participantTimeout(t)
+}
+
+// participantTimeout fires for a participant stuck in w or p (or re-fires
+// while blocked/recovering). Requires s.mu held.
+func (s *Site) participantTimeout(t *txState) {
+	if t.phase != phaseWait && t.phase != phasePrepared {
+		return
+	}
+	if t.recovering {
+		s.retryRecovery(t)
+		return
+	}
+	if t.meta.Coordinator != 0 && s.det.Alive(t.meta.Coordinator) {
+		// The coordinator is operational, just slow or its message was
+		// lost; nudge it for the decision and keep waiting.
+		s.send(t.meta.Coordinator, KindDecideReq, t.id, nil)
+		s.armTimer(t, s.timeout)
+		return
+	}
+	if s.kind == TwoPhase && t.queried {
+		// Close the cooperative collection window: if every operational
+		// site answered "uncertain", the transaction is blocked.
+		s.evaluateCooperative(t, true)
+		if t.resolved() {
+			return
+		}
+	}
+	// Coordinator crash detected: invoke the termination protocol (retrying
+	// the status query if already blocked — the coordinator may recover).
+	s.startTermination(t)
+}
+
+// inCohort reports whether site participates in t.
+func inCohort(t *txState, site int) bool {
+	for _, p := range t.meta.Participants {
+		if p == site {
+			return true
+		}
+	}
+	return false
+}
+
+// handleCrash reacts to a failure report from the detector.
+func (s *Site) handleCrash(site int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.txns {
+		if t.resolved() {
+			continue
+		}
+		if t.coordinator {
+			s.coordinatorCrashCheck(t, site)
+			continue
+		}
+		if t.recovering {
+			continue // recovery resolves via DECIDE-REQ retries
+		}
+		if t.peer {
+			// Any cohort crash impairs the decentralized protocol.
+			if inCohort(t, site) && (t.phase == phaseWait || t.phase == phasePrepared) {
+				s.startTermination(t)
+			}
+			continue
+		}
+		if site == t.meta.Coordinator && (t.phase == phaseWait || t.phase == phasePrepared) {
+			s.startTermination(t)
+			continue
+		}
+		if t.termActive || t.phase == phaseWait || t.phase == phasePrepared {
+			// The crash may have taken the backup coordinator down or
+			// changed the cohort; re-evaluate termination.
+			if t.meta.Coordinator != 0 && !s.det.Alive(t.meta.Coordinator) {
+				s.startTermination(t)
+			}
+		}
+	}
+}

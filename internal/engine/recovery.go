@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// Recover builds a Site from its surviving write-ahead log after a crash,
+// implementing the paper's recovery protocol ("invoked by a crashed site to
+// resume transaction processing upon recovery"):
+//
+//   - committed transactions are redone into the fresh resource (redo from
+//     the log, no checkpointing in this reference implementation);
+//   - transactions this site coordinated without reaching an outcome are
+//     aborted (the failure occurred before the commit point) and the abort
+//     is broadcast to the cohort — this is what eventually unblocks 2PC
+//     participants stuck in their uncertainty window;
+//   - transactions this site coordinated to an outcome are re-broadcast, in
+//     case the decision messages were lost in the crash;
+//   - in-doubt participant transactions (voted YES / prepared, no outcome)
+//     enter the recovering state: the site queries the cohort with
+//     DECIDE-REQ until some operational site reports the outcome, and it
+//     refuses the backup-coordinator role meanwhile.
+//
+// The returned site is started; callers should not call Start again.
+func Recover(cfg Config) (*Site, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := s.log.Records()
+	if err != nil {
+		return nil, fmt.Errorf("engine: recovery cannot read WAL: %w", err)
+	}
+
+	// Redo committed effects in log order.
+	for _, r := range recs {
+		if r.Type == wal.RecCommitted && len(r.Payload) > 0 {
+			if err := s.res.ApplyRedo(r.Payload); err != nil {
+				return nil, fmt.Errorf("engine: recovery redo of %s: %w", r.TxID, err)
+			}
+		}
+	}
+
+	images := wal.Replay(recs)
+	// Deterministic iteration keeps recovery reproducible.
+	ids := make([]string, 0, len(images))
+	for id := range images {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	type rebroadcast struct {
+		t *txState
+	}
+	var pending []rebroadcast
+	var inDoubt []*txState
+
+	for _, id := range ids {
+		img := images[id]
+		t := s.tx(id)
+		t.detached = true
+		t.coordinator = img.Coordinator
+		if img.Coordinator && len(img.Begin) > 0 {
+			if meta, err := decodeMeta(img.Begin); err == nil {
+				t.meta = meta
+			}
+		}
+		switch img.Status {
+		case wal.StatusCommitted, wal.StatusEnded:
+			t.phase = phaseCommitted
+			close(t.done)
+			if img.Coordinator && img.Status != wal.StatusEnded {
+				pending = append(pending, rebroadcast{t: t})
+			}
+		case wal.StatusAborted, wal.StatusVotedNo:
+			if img.Status == wal.StatusVotedNo {
+				// Crashed between logging the NO vote and the abort record.
+				s.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
+			}
+			t.phase = phaseAborted
+			close(t.done)
+			if img.Coordinator {
+				pending = append(pending, rebroadcast{t: t})
+			}
+		case wal.StatusBegun:
+			// Coordinator crashed before its commit point: abort.
+			s.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
+			t.phase = phaseAborted
+			close(t.done)
+			pending = append(pending, rebroadcast{t: t})
+		case wal.StatusVotedYes, wal.StatusPrepared:
+			vp, err := decodeVotePayload(img.Last)
+			if err != nil {
+				return nil, fmt.Errorf("engine: recovery cannot decode vote payload of %s: %w", id, err)
+			}
+			t.meta = vp.Meta
+			t.redo = vp.Redo
+			if img.Status == wal.StatusPrepared {
+				t.phase = phasePrepared
+			} else {
+				t.phase = phaseWait
+			}
+			if img.Coordinator {
+				// A 3PC coordinator that crashed after logging prepared:
+				// it is in doubt like any participant (the cohort may have
+				// terminated either way... only commit is possible from p,
+				// but a backup may have moved the cohort; ask).
+				t.coordinator = false
+			}
+			t.recovering = true
+			inDoubt = append(inDoubt, t)
+		}
+	}
+
+	s.Start()
+
+	// Post-start actions go through the normal send path.
+	s.mu.Lock()
+	for _, rb := range pending {
+		s.broadcastOutcome(rb.t)
+	}
+	for _, t := range inDoubt {
+		s.queryOutcome(t)
+	}
+	s.mu.Unlock()
+	return s, nil
+}
+
+// queryOutcome asks every operational cohort member for the transaction's
+// outcome. Requires s.mu held.
+func (s *Site) queryOutcome(t *txState) {
+	for _, p := range t.meta.Participants {
+		if p != s.id && s.det.Alive(p) {
+			s.send(p, KindDecideReq, t.id, nil)
+		}
+	}
+	s.armTimer(t, s.timeout)
+}
+
+// retryRecovery re-queries the cohort for an in-doubt transaction. Requires
+// s.mu held.
+func (s *Site) retryRecovery(t *txState) {
+	s.queryOutcome(t)
+}
+
+// onDecideReq answers an outcome query: from a recovering site, a blocked
+// participant nudging its coordinator, or anyone else.
+func (s *Site) onDecideReq(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok {
+		s.send(m.From, KindDecideRes, m.TxID, []byte{'?'})
+		return
+	}
+	switch t.phase {
+	case phaseCommitted:
+		s.send(m.From, KindDecideRes, m.TxID, []byte{'c'})
+	case phaseAborted:
+		s.send(m.From, KindDecideRes, m.TxID, []byte{'a'})
+	default:
+		s.send(m.From, KindDecideRes, m.TxID, []byte{'?'})
+	}
+}
+
+// onDecideRes resolves an in-doubt transaction when a peer knows the
+// outcome.
+func (s *Site) onDecideRes(m transport.Message) {
+	if len(m.Body) < 1 || m.Body[0] == '?' {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok || t.resolved() {
+		return
+	}
+	switch m.Body[0] {
+	case 'c':
+		t.recovering = false
+		s.resolve(t, OutcomeCommitted)
+	case 'a':
+		t.recovering = false
+		s.resolve(t, OutcomeAborted)
+	}
+}
+
+// InDoubt reports the transactions this site cannot yet resolve after
+// recovery, sorted by ID.
+func (s *Site) InDoubt() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, t := range s.txns {
+		if t.recovering && !t.resolved() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

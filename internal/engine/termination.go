@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"nbcommit/internal/election"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// Status letters carried in STATUS-RES bodies: the canonical state letters
+// plus "r" for a recovering site that refuses the backup role.
+const statusRecovering = byte('r')
+
+// startTermination runs when a participant detects that the coordinator
+// crashed while the transaction is unresolved. For 3PC it is the paper's
+// central-site termination protocol: elect a backup coordinator, have it
+// decide from its own local state (the decision rule of slide 39), and
+// execute the 2-phase backup protocol. For 2PC it is cooperative
+// termination, which blocks when every operational site is uncertain.
+// Requires s.mu held.
+func (s *Site) startTermination(t *txState) {
+	if t.resolved() || t.recovering {
+		return
+	}
+	if s.kind == TwoPhase {
+		s.startCooperative(t)
+		return
+	}
+
+	backup, ok := s.electBackup(t)
+	if !ok {
+		// No operational candidate but ourselves ever exists (we are one);
+		// defensive re-arm.
+		s.armTimer(t, s.timeout)
+		return
+	}
+	if backup == s.id {
+		s.runBackup(t)
+		return
+	}
+	// Nudge the backup (it may be in q and not even know the transaction),
+	// then wait for it to drive phases 1 and 2.
+	s.send(backup, KindStatusReq, t.id, encodeMeta(t.meta))
+	s.armTimer(t, s.timeout)
+}
+
+// electBackup picks the backup coordinator: the lowest-numbered operational,
+// non-recovering cohort member, excluding the failed coordinator. Under the
+// paper's reliable failure reporting every operational site computes the
+// same site. Requires s.mu held.
+func (s *Site) electBackup(t *txState) (int, bool) {
+	var candidates []int
+	for _, p := range t.meta.Participants {
+		if p != t.meta.Coordinator && !t.excluded[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	return election.Deterministic(s.det.Alive, candidates)
+}
+
+// runBackup makes this site the backup coordinator. Requires s.mu held.
+func (s *Site) runBackup(t *txState) {
+	s.record("backup", t.id, "state "+t.phase.String())
+	t.termActive = true
+	if t.resolved() {
+		s.broadcastOutcome(t)
+		return
+	}
+	// Phase 1 of the backup protocol: ask every operational site to make a
+	// transition to the backup's local state and wait for acknowledgements.
+	// (The paper permits omitting phase 1 when the backup is already in a
+	// final state — handled above by broadcasting directly.)
+	t.termAcks = map[int]bool{}
+	body := append([]byte{t.phase.letter()}, encodeMeta(t.meta)...)
+	for _, p := range t.meta.Participants {
+		if p != s.id && p != t.meta.Coordinator && s.det.Alive(p) {
+			s.send(p, KindTermState, t.id, body)
+		}
+	}
+	s.armTimer(t, s.timeout)
+	s.maybeTermPhase2(t)
+}
+
+// letter renders the phase as the canonical state byte.
+func (p phase) letter() byte {
+	switch p {
+	case phaseInit:
+		return 'q'
+	case phaseWait:
+		return 'w'
+	case phasePrepared:
+		return 'p'
+	case phaseCommitted:
+		return 'c'
+	default:
+		return 'a'
+	}
+}
+
+// onTermState handles phase 1 of the backup protocol at a participant:
+// adopt the backup coordinator's local state and acknowledge.
+func (s *Site) onTermState(m transport.Message) {
+	if len(m.Body) < 1 {
+		return
+	}
+	target := m.Body[0]
+	meta, err := decodeMeta(m.Body[1:])
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tx(m.TxID)
+	if len(t.meta.Participants) == 0 {
+		t.meta = meta
+		t.detached = true // we never executed this transaction locally
+	}
+	if t.recovering {
+		s.send(m.From, KindStatusRes, t.id, []byte{statusRecovering})
+		return
+	}
+	if t.resolved() {
+		// Inform the backup of the decided outcome instead of acking.
+		s.sendOutcome(m.From, t)
+		return
+	}
+	switch {
+	case target == 'p' && t.phase == phaseWait:
+		s.mustLog(wal.Record{Type: wal.RecPrepared, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
+		t.phase = phasePrepared
+	case target == 'w' && t.phase == phasePrepared:
+		// Retreat from the buffer state: p and w differ only in knowledge,
+		// no irreversible action has occurred, so the synchronizing move is
+		// safe. The WAL keeps the prepared record; recovery treats both as
+		// in-doubt.
+		t.phase = phaseWait
+	}
+	s.send(m.From, KindTermAck, t.id, nil)
+	s.armTimer(t, s.timeout)
+}
+
+// onTermAck collects phase-1 acknowledgements at the backup coordinator.
+func (s *Site) onTermAck(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok || !t.termActive {
+		return
+	}
+	if t.termAcks == nil {
+		t.termAcks = map[int]bool{}
+	}
+	t.termAcks[m.From] = true
+	s.maybeTermPhase2(t)
+}
+
+// maybeTermPhase2 fires phase 2 of the backup protocol once every
+// operational cohort site has acknowledged phase 1 (crashed sites are
+// waived: they resolve via the recovery protocol). Requires s.mu held.
+func (s *Site) maybeTermPhase2(t *txState) {
+	if t.resolved() || !t.termActive {
+		return
+	}
+	for _, p := range t.meta.Participants {
+		if p == s.id || p == t.meta.Coordinator || t.excluded[p] {
+			continue
+		}
+		if !t.termAcks[p] && s.det.Alive(p) {
+			return
+		}
+	}
+	// Decision rule for backup coordinators (slide 39): commit iff the
+	// concurrency set of the backup's state contains a commit state — for
+	// the canonical 3PC, commit from {p, c}, abort from {q, w, a}.
+	if t.phase == phasePrepared {
+		s.resolve(t, OutcomeCommitted)
+	} else {
+		s.resolve(t, OutcomeAborted)
+	}
+	s.broadcastOutcome(t)
+}
+
+// broadcastOutcome sends the resolved decision to every other cohort member.
+// Requires s.mu held and t resolved.
+func (s *Site) broadcastOutcome(t *txState) {
+	for _, p := range t.meta.Participants {
+		if p != s.id {
+			s.sendOutcome(p, t)
+		}
+	}
+}
+
+// sendOutcome transmits t's decision to one site. Requires t resolved.
+func (s *Site) sendOutcome(to int, t *txState) {
+	kind := KindAbort
+	if t.phase == phaseCommitted {
+		kind = KindCommit
+	}
+	s.send(to, kind, t.id, nil)
+}
+
+// --- 2PC cooperative termination ---
+
+// startCooperative begins (or retries) the 2PC termination attempt: query
+// every operational cohort member's state and decide if any response breaks
+// the uncertainty. Requires s.mu held.
+func (s *Site) startCooperative(t *txState) {
+	t.queried = true
+	t.statuses = map[int]byte{}
+	for _, p := range t.meta.Participants {
+		if p != s.id && s.det.Alive(p) {
+			s.send(p, KindStatusReq, t.id, encodeMeta(t.meta))
+		}
+	}
+	s.armTimer(t, s.timeout)
+}
+
+// onStatusReq answers a state query (2PC cooperative termination) or a
+// backup nudge (3PC: the chosen backup may not know the transaction yet).
+func (s *Site) onStatusReq(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tx(m.TxID)
+	if len(t.meta.Participants) == 0 && len(m.Body) > 0 {
+		if meta, err := decodeMeta(m.Body); err == nil {
+			t.meta = meta
+			t.detached = true
+		}
+	}
+	switch {
+	case t.recovering:
+		s.send(m.From, KindStatusRes, t.id, []byte{statusRecovering})
+	case t.resolved():
+		s.sendOutcome(m.From, t)
+	default:
+		s.send(m.From, KindStatusRes, t.id, []byte{t.phase.letter()})
+		// A 3PC backup learns of its role through this nudge. For the
+		// central paradigm that requires the coordinator to be down; in the
+		// decentralized paradigm (Coordinator == 0) the nudge itself is the
+		// signal.
+		if s.kind == ThreePhase && len(t.meta.Participants) > 0 &&
+			(t.meta.Coordinator == 0 || !s.det.Alive(t.meta.Coordinator)) {
+			if backup, ok := s.electBackup(t); ok && backup == s.id {
+				s.runBackup(t)
+			}
+		}
+	}
+}
+
+// onStatusRes folds a cohort member's state into the 2PC cooperative
+// decision (or, for 3PC, handles a "recovering" refusal of the backup
+// role).
+func (s *Site) onStatusRes(m transport.Message) {
+	if len(m.Body) < 1 {
+		return
+	}
+	st := m.Body[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[m.TxID]
+	if !ok || t.resolved() {
+		return
+	}
+	if st == statusRecovering {
+		if t.excluded == nil {
+			t.excluded = map[int]bool{}
+		}
+		t.excluded[m.From] = true
+		if s.kind == ThreePhase {
+			s.startTermination(t) // recompute the backup without it
+		}
+		return
+	}
+	if s.kind != TwoPhase || !t.queried {
+		return
+	}
+	t.statuses[m.From] = st
+	s.evaluateCooperative(t, false)
+}
+
+// evaluateCooperative applies the cooperative termination rule. final marks
+// the end of a collection window (timer expiry): if every operational site
+// has answered and all are uncertain, the transaction is blocked. Requires
+// s.mu held.
+func (s *Site) evaluateCooperative(t *txState, final bool) {
+	if t.resolved() {
+		return
+	}
+	anyUnknown := false
+	for _, p := range t.meta.Participants {
+		if p == s.id || !s.det.Alive(p) {
+			continue
+		}
+		st, ok := t.statuses[p]
+		if !ok {
+			anyUnknown = true
+			continue
+		}
+		switch st {
+		case 'c':
+			// Should arrive as a COMMIT message, but accept either way.
+			s.resolve(t, OutcomeCommitted)
+			s.broadcastOutcome(t)
+			return
+		case 'a':
+			s.resolve(t, OutcomeAborted)
+			s.broadcastOutcome(t)
+			return
+		case 'q':
+			// A site that has not voted: the coordinator cannot have
+			// committed, so abort is safe.
+			s.resolve(t, OutcomeAborted)
+			s.broadcastOutcome(t)
+			return
+		case statusRecovering:
+			anyUnknown = true
+		}
+	}
+	if final && !anyUnknown {
+		// Every operational site is in w: this is the 2PC blocking
+		// situation. Stay armed — only the coordinator's recovery can
+		// resolve the transaction.
+		if !t.blocked {
+			s.record("blocked", t.id, "all operational sites uncertain")
+		}
+		t.blocked = true
+		s.armTimer(t, s.timeout)
+	}
+}

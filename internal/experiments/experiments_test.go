@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureReports smoke-tests every figure generator: nonempty reports
+// with the paper's headline phrases.
+func TestFigureReports(t *testing.T) {
+	checks := []struct {
+		report string
+		want   []string
+	}{
+		{Fig1CentralSite2PC(3), []string{"F1", "2 phases", "unilateral abort: true"}},
+		{Fig3ConcurrencySets([]int{2, 3}), []string{"CS(w)={a,c,q,w}", "CS(c)={c,w}"}},
+		{Fig4TheoremOn2PC(3), []string{"nonblocking=false", "condition-1", "condition-2"}},
+		{Fig5Synthesis(3), []string{"equals canonical 3PC: true", "equals slide-35 3PC: true"}},
+		{Fig6ThreePCNonblocking([]int{2}), []string{"nonblocking=true", "s1:{c,p}"}},
+		{Fig7TerminationRule(), []string{"backup in p -> commit", "backup in w -> abort"}},
+		{Fig8Resilience(3), []string{"[1 2 3] of 3", "[] of 3"}},
+	}
+	for i, c := range checks {
+		for _, w := range c.want {
+			if !strings.Contains(c.report, w) {
+				t.Errorf("report %d missing %q:\n%s", i, w, c.report)
+			}
+		}
+	}
+	stats, rep := Fig2ReachableGraph2PC()
+	if stats.States != 9 || !strings.Contains(rep, "global states 9") {
+		t.Errorf("F2 = %+v\n%s", stats, rep)
+	}
+}
+
+// TestTableReports runs every quantitative experiment at reduced scale and
+// asserts the paper's shapes.
+func TestTableReports(t *testing.T) {
+	rows1, rep1 := Tab1BlockingProbability([]int{3}, 200, 7)
+	if len(rows1) != 1 || rows1[0].Inconsistent != 0 || rows1[0].ThreePC != 0 ||
+		rows1[0].TwoPCBlocked == 0 || !strings.Contains(rep1, "T1") {
+		t.Errorf("T1 = %+v", rows1)
+	}
+
+	rows2, _ := Tab2Availability(5, []int{1}, 150, 7)
+	for _, r := range rows2 {
+		if r.Inconsistent != 0 {
+			t.Errorf("T2 %s inconsistent", r.Protocol)
+		}
+		if strings.Contains(r.Protocol, "3PC") && r.Terminated < 1 {
+			t.Errorf("T2 %s terminated %.2f", r.Protocol, r.Terminated)
+		}
+	}
+
+	rows3, _ := Tab3MessageCost([]int{2, 4})
+	for _, r := range rows3 {
+		if r.C2PC != 3*(r.N-1) || r.D3PC != 2*r.N*(r.N-1) {
+			t.Errorf("T3 row %+v", r)
+		}
+	}
+
+	rows4, _ := Tab4Latency([]int{3}, 20, 7)
+	if len(rows4) != 1 || rows4[0].C3PC <= rows4[0].C2PC {
+		t.Errorf("T4 = %+v", rows4)
+	}
+
+	rows5, _ := Tab5Throughput(3, 30, 7)
+	if len(rows5) != 4 {
+		t.Fatalf("T5 rows = %d", len(rows5))
+	}
+	for _, r := range rows5 {
+		if r.Committed == 0 {
+			t.Errorf("T5 %s committed nothing", r.Protocol)
+		}
+	}
+
+	if failures, rep := Tab6Recovery(4); failures != 0 {
+		t.Errorf("T6 failures:\n%s", rep)
+	}
+}
+
+// TestAblationReports asserts both ablations break/hold exactly as the
+// paper predicts.
+func TestAblationReports(t *testing.T) {
+	withV, withoutV, rep := Abl1BackupPhase1()
+	if withV != 0 || withoutV == 0 {
+		t.Errorf("A1 = %d/%d\n%s", withV, withoutV, rep)
+	}
+	two, three, _ := Abl2NoBufferState(200, 7)
+	if three != 0 || two == 0 {
+		t.Errorf("A2 = %.3f/%.3f", two, three)
+	}
+	plain, quorum, blocked, _ := Abl3PartitionQuorum(150)
+	if quorum != 0 || plain == 0 || blocked == 0 {
+		t.Errorf("A3 = plain %d quorum %d blocked %d", plain, quorum, blocked)
+	}
+}
+
+// TestContention: both deadlock policies make progress under a skewed
+// workload; wait-die trades aborts for latency.
+func TestContention(t *testing.T) {
+	rows, rep := Tab8Contention(3, 4, 20, 7)
+	if len(rows) != 2 || !strings.Contains(rep, "T8") {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if r.Committed == 0 {
+			t.Errorf("%s committed nothing: %+v", r.Policy, r)
+		}
+		if r.Committed+r.Aborted != 4*20 {
+			t.Errorf("%s lost transactions: %+v", r.Policy, r)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (and the claims its prose makes quantitative). Each function
+// returns a printable report; cmd/benchfig prints them, the repository's
+// bench_test.go measures them, and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nbcommit/internal/core"
+	"nbcommit/internal/protocol"
+)
+
+func mustGraph(p *protocol.Protocol) *core.Graph {
+	g, err := core.Build(p, core.BuildOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return g
+}
+
+// Fig1CentralSite2PC reproduces slide 15: the coordinator and slave FSAs of
+// the central-site 2PC, machine-validated (structure, acyclicity,
+// irreversible finals, unilateral abort, phase count, synchrony).
+func Fig1CentralSite2PC(n int) string {
+	p := protocol.CentralTwoPC(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "F1: %s (slide 15)\n", p.Name)
+	if err := protocol.Validate(p); err != nil {
+		fmt.Fprintf(&b, "  INVALID: %v\n", err)
+		return b.String()
+	}
+	phases, _ := protocol.Phases(p)
+	fmt.Fprintf(&b, "  validated FSAs: coordinator + %d slaves, %d phases\n", n-1, phases)
+	fmt.Fprintf(&b, "  unilateral abort: %v (1PC fails this: %v)\n",
+		protocol.CheckUnilateralAbort(p) == nil,
+		protocol.CheckUnilateralAbort(protocol.OnePC(n)) != nil)
+	ok, _, err := core.SynchronousWithinOne(p, core.BuildOptions{})
+	fmt.Fprintf(&b, "  synchronous within one transition: %v (err=%v)\n", ok, err)
+	slaveEq := core.StructurallyEquivalent(p.Sites[1], protocol.CanonicalTwoPC())
+	fmt.Fprintf(&b, "  slave skeleton == canonical 2PC (slide 31): %v\n", slaveEq)
+	return b.String()
+}
+
+// Fig2ReachableGraph2PC reproduces slide 18: the reachable state graph for
+// the 2-site 2PC.
+func Fig2ReachableGraph2PC() (core.Stats, string) {
+	g := mustGraph(protocol.CentralTwoPC(2))
+	s := g.Stats()
+	var b strings.Builder
+	b.WriteString("F2: reachable state graph, 2-site central 2PC (slide 18)\n")
+	fmt.Fprintf(&b, "  global states %d, edges %d, final %d (commit %d / abort %d)\n",
+		s.States, s.Edges, s.FinalStates, s.CommitFinal, s.AbortFinal)
+	fmt.Fprintf(&b, "  inconsistent %d, deadlocked %d (both must be 0)\n", s.Inconsistent, s.Deadlocked)
+	for _, n := range g.SortedNodes() {
+		fmt.Fprintf(&b, "    %s\n", n)
+	}
+	return s, b.String()
+}
+
+// Fig3ConcurrencySets reproduces slide 32: the concurrency sets of the
+// canonical 2PC, computed from the reachable graph for each n.
+func Fig3ConcurrencySets(ns []int) string {
+	var b strings.Builder
+	b.WriteString("F3: concurrency sets of the canonical 2PC (slide 32)\n")
+	b.WriteString("  paper: CS(q)={q,w,a}  CS(w)={q,w,a,c}  CS(a)={q,w,a}  CS(c)={w,c}\n")
+	for _, n := range ns {
+		a := core.Analyze(mustGraph(protocol.DecentralizedTwoPC(n)))
+		parts := make([]string, 0, 4)
+		for _, s := range []protocol.StateID{"q", "w", "a", "c"} {
+			cs, err := a.Set(1, s)
+			if err != nil {
+				parts = append(parts, fmt.Sprintf("CS(%s)=ERR", s))
+				continue
+			}
+			names := cs.Names()
+			strs := make([]string, len(names))
+			for i, x := range names {
+				strs[i] = string(x)
+			}
+			parts = append(parts, fmt.Sprintf("CS(%s)={%s}", s, strings.Join(strs, ",")))
+		}
+		fmt.Fprintf(&b, "  n=%d: %s\n", n, strings.Join(parts, "  "))
+	}
+	return b.String()
+}
+
+// Fig4TheoremOn2PC reproduces slides 28/33: both 2PC paradigms violate both
+// conditions of the fundamental nonblocking theorem, at state w only.
+func Fig4TheoremOn2PC(n int) string {
+	var b strings.Builder
+	b.WriteString("F4: fundamental theorem on the 2PC paradigms (slides 28/33)\n")
+	for _, p := range []*protocol.Protocol{
+		protocol.CentralTwoPC(n), protocol.DecentralizedTwoPC(n),
+	} {
+		r := core.CheckTheorem(mustGraph(p))
+		fmt.Fprintf(&b, "  %s: nonblocking=%v, violations=%d (all at w)\n",
+			p.Name, r.Nonblocking(), len(r.Violations))
+		kinds := map[core.ViolationKind]int{}
+		for _, v := range r.Violations {
+			kinds[v.Kind]++
+			if v.State.State != protocol.StateW {
+				fmt.Fprintf(&b, "    UNEXPECTED violation at %s\n", v.State)
+			}
+		}
+		fmt.Fprintf(&b, "    condition-1 violations: %d, condition-2 violations: %d\n",
+			kinds[core.MixedConcurrency], kinds[core.NoncommittableSeesCommit])
+	}
+	return b.String()
+}
+
+// Fig5Synthesis reproduces slide 34: inserting the buffer state p makes the
+// canonical 2PC nonblocking, and the message-level construction applied to
+// the central-site 2PC yields exactly the central-site 3PC.
+func Fig5Synthesis(n int) string {
+	var b strings.Builder
+	b.WriteString("F5: buffer-state synthesis (slide 34)\n")
+	skel, err := core.MakeNonblockingSkeleton(protocol.CanonicalTwoPC())
+	if err != nil {
+		fmt.Fprintf(&b, "  skeleton synthesis failed: %v\n", err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  canonical: lemma violations before=%d after=%d; equals canonical 3PC: %v\n",
+		len(core.CheckLemma(protocol.CanonicalTwoPC())), len(core.CheckLemma(skel)),
+		core.StructurallyEquivalent(skel, protocol.CanonicalThreePC()))
+	syn, err := core.SynthesizeCentralBuffer(protocol.CentralTwoPC(n))
+	if err != nil {
+		fmt.Fprintf(&b, "  message-level synthesis failed: %v\n", err)
+		return b.String()
+	}
+	r := core.CheckTheorem(mustGraph(syn))
+	ref := protocol.CentralThreePC(n)
+	same := true
+	for i := range syn.Sites {
+		if !core.StructurallyEquivalent(syn.Sites[i], ref.Sites[i]) {
+			same = false
+		}
+	}
+	fmt.Fprintf(&b, "  message-level (n=%d): nonblocking=%v, equals slide-35 3PC: %v\n",
+		n, r.Nonblocking(), same)
+	return b.String()
+}
+
+// Fig6ThreePCNonblocking reproduces slides 35/36: both 3PC protocols satisfy
+// the theorem at every size checked, and have committable states {p, c}.
+func Fig6ThreePCNonblocking(ns []int) string {
+	var b strings.Builder
+	b.WriteString("F6: 3PC satisfies the fundamental theorem (slides 35/36)\n")
+	for _, n := range ns {
+		for _, p := range []*protocol.Protocol{
+			protocol.CentralThreePC(n), protocol.DecentralizedThreePC(n),
+		} {
+			r := core.CheckTheorem(mustGraph(p))
+			fmt.Fprintf(&b, "  %s: nonblocking=%v, committable: %s\n",
+				p.Name, r.Nonblocking(), core.CommittableSummary(r.Analysis))
+		}
+	}
+	return b.String()
+}
+
+// Fig7TerminationRule reproduces slides 39/40: the backup coordinator's
+// decision for every canonical state, derived from concurrency sets.
+func Fig7TerminationRule() string {
+	var b strings.Builder
+	b.WriteString("F7: termination decision rule (slides 39/40)\n")
+	b.WriteString("  paper: commit from {p, c}; abort from {q, w, a}\n")
+	a := core.Analyze(mustGraph(protocol.DecentralizedThreePC(3)))
+	for _, s := range []protocol.StateID{"q", "w", "p", "a", "c"} {
+		d, err := core.TerminationRule(a, 1, s)
+		if err != nil {
+			fmt.Fprintf(&b, "  backup in %s -> ERR %v\n", s, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  backup in %s -> %s\n", s, d)
+	}
+	return b.String()
+}
+
+// Fig8Resilience reproduces slide 30's corollary: which sites obey the
+// theorem per protocol — all of them for 3PC (nonblocking while one
+// survives), only the coordinator for central 2PC, none for decentralized
+// 2PC.
+func Fig8Resilience(n int) string {
+	var b strings.Builder
+	b.WriteString("F8: k-resilience corollary (slide 30)\n")
+	for _, p := range []*protocol.Protocol{
+		protocol.CentralTwoPC(n), protocol.DecentralizedTwoPC(n),
+		protocol.CentralThreePC(n), protocol.DecentralizedThreePC(n),
+	} {
+		good := core.CheckResilience(mustGraph(p))
+		fmt.Fprintf(&b, "  %s: theorem-obeying sites %v of %d\n", p.Name, good, n)
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package kv
+
+import "testing"
+
+// FuzzDecodeWrites: arbitrary payloads never panic the decoder, and valid
+// encodings round-trip.
+func FuzzDecodeWrites(f *testing.F) {
+	good, _ := EncodeWrites([]WriteOp{{Key: "a", Value: "1"}, {Key: "b", Delete: true}})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeWrites(data)
+		if err != nil {
+			return // rejected, fine
+		}
+		re, err := EncodeWrites(ops)
+		if err != nil {
+			t.Fatalf("re-encode of decoded ops failed: %v", err)
+		}
+		ops2, err := DecodeWrites(re)
+		if err != nil {
+			t.Fatalf("decode of re-encoded ops failed: %v", err)
+		}
+		if len(ops2) != len(ops) {
+			t.Fatalf("round trip changed length: %d vs %d", len(ops), len(ops2))
+		}
+	})
+}

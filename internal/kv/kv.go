@@ -1,0 +1,452 @@
+// Package kv implements a per-site transactional key-value store with strict
+// two-phase locking. It is the local resource manager beneath the commit
+// protocols: a participant votes YES by preparing a transaction here, and
+// the paper's motivation for unilateral abort — "the resolution of a
+// deadlock, when a locking scheme is adopted" — appears as lock-wait
+// timeouts that force a NO vote.
+package kv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	// ErrLockTimeout means a lock could not be acquired in time; the caller
+	// should abort the transaction (and vote NO). This is the deadlock
+	// resolution strategy: timeouts break wait cycles.
+	ErrLockTimeout = errors.New("kv: lock wait timed out")
+	// ErrWaitDie means the wait-die policy killed a younger transaction
+	// that wanted a lock held by an older one; the caller should abort and
+	// retry with a new transaction (which will be older the second time
+	// relative to new arrivals).
+	ErrWaitDie = errors.New("kv: wait-die: younger transaction must abort")
+	// ErrNoTxn means the transaction is unknown at this store.
+	ErrNoTxn = errors.New("kv: no such transaction")
+	// ErrTxnExists means Begin was called twice for the same ID.
+	ErrTxnExists = errors.New("kv: transaction already exists")
+	// ErrNotActive means the operation requires an active (unprepared)
+	// transaction.
+	ErrNotActive = errors.New("kv: transaction is not active")
+	// ErrNotFound means the key does not exist.
+	ErrNotFound = errors.New("kv: key not found")
+)
+
+type txnState int
+
+const (
+	stateActive txnState = iota
+	statePrepared
+)
+
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// WriteOp is one staged mutation; a transaction's write set is its redo
+// image, returned by Prepare for the engine to force to the WAL.
+type WriteOp struct {
+	Key    string
+	Value  string
+	Delete bool
+}
+
+// EncodeWrites serializes a write set for a WAL payload.
+func EncodeWrites(ops []WriteOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ops); err != nil {
+		return nil, fmt.Errorf("kv: encode writes: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWrites parses a write set from a WAL payload.
+func DecodeWrites(p []byte) ([]WriteOp, error) {
+	var ops []WriteOp
+	if len(p) == 0 {
+		return nil, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&ops); err != nil {
+		return nil, fmt.Errorf("kv: decode writes: %w", err)
+	}
+	return ops, nil
+}
+
+type txn struct {
+	id     string
+	seq    uint64 // begin order: smaller is older (wait-die priority)
+	state  txnState
+	writes map[string]WriteOp // staged, keyed by key
+	order  []string           // staging order for deterministic write sets
+	locks  map[string]lockMode
+}
+
+type lockEntry struct {
+	holders map[string]lockMode
+}
+
+// DeadlockPolicy selects how lock waits that might form cycles are broken.
+type DeadlockPolicy int
+
+const (
+	// TimeoutPolicy (default): waiters give up after LockTimeout. Simple,
+	// but a real deadlock costs a full timeout and may kill both parties.
+	TimeoutPolicy DeadlockPolicy = iota
+	// WaitDiePolicy: a transaction may wait only for locks held exclusively
+	// by younger transactions; wanting a lock held by an older transaction
+	// kills the requester immediately (ErrWaitDie). Deadlock-free by
+	// construction, no timeout latency, but more aborts under contention.
+	WaitDiePolicy
+)
+
+// Store is a transactional key-value store. The zero value is not usable;
+// call NewStore.
+type Store struct {
+	mu          sync.Mutex
+	data        map[string]string
+	locks       map[string]*lockEntry
+	txns        map[string]*txn
+	waitCh      chan struct{} // closed and replaced on every lock release
+	lockTimeout time.Duration
+	policy      DeadlockPolicy
+	beginSeq    uint64
+}
+
+// Options configures a Store.
+type Options struct {
+	// LockTimeout bounds lock waits; expiry resolves deadlocks by forcing
+	// the waiter to abort. Zero means a default of 100ms.
+	LockTimeout time.Duration
+	// Policy selects the deadlock handling strategy.
+	Policy DeadlockPolicy
+}
+
+// NewStore returns an empty store.
+func NewStore(opts Options) *Store {
+	to := opts.LockTimeout
+	if to == 0 {
+		to = 100 * time.Millisecond
+	}
+	return &Store{
+		data:        map[string]string{},
+		locks:       map[string]*lockEntry{},
+		txns:        map[string]*txn{},
+		waitCh:      make(chan struct{}),
+		lockTimeout: to,
+		policy:      opts.Policy,
+	}
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin(txid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.txns[txid]; ok {
+		return fmt.Errorf("%w: %s", ErrTxnExists, txid)
+	}
+	s.beginSeq++
+	s.txns[txid] = &txn{
+		id:     txid,
+		seq:    s.beginSeq,
+		writes: map[string]WriteOp{},
+		locks:  map[string]lockMode{},
+	}
+	return nil
+}
+
+// grantable reports whether tx may take the lock on key in the given mode.
+// Requires s.mu held.
+func (s *Store) grantable(key string, txid string, mode lockMode) bool {
+	e := s.locks[key]
+	if e == nil || len(e.holders) == 0 {
+		return true
+	}
+	if held, ok := e.holders[txid]; ok && len(e.holders) == 1 {
+		_ = held // sole holder may upgrade or re-take
+		return true
+	}
+	if mode == lockExclusive {
+		return false
+	}
+	for _, m := range e.holders {
+		if m == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// mustDie reports whether, under wait-die, t is forbidden to wait for the
+// current holders of key (some conflicting holder is older than t).
+// Requires s.mu held.
+func (s *Store) mustDie(t *txn, key string, mode lockMode) bool {
+	e := s.locks[key]
+	if e == nil {
+		return false
+	}
+	for holder, hm := range e.holders {
+		if holder == t.id {
+			continue
+		}
+		if mode == lockShared && hm == lockShared {
+			continue // no conflict with a fellow reader
+		}
+		if h := s.txns[holder]; h != nil && h.seq < t.seq {
+			return true // conflicting older holder: the younger dies
+		}
+	}
+	return false
+}
+
+// acquire blocks until the lock is granted or the store's lock timeout
+// expires (deadlock resolution).
+func (s *Store) acquire(t *txn, key string, mode lockMode) error {
+	deadline := time.Now().Add(s.lockTimeout)
+	s.mu.Lock()
+	for {
+		if t.state != stateActive {
+			s.mu.Unlock()
+			return ErrNotActive
+		}
+		if s.grantable(key, t.id, mode) {
+			e := s.locks[key]
+			if e == nil {
+				e = &lockEntry{holders: map[string]lockMode{}}
+				s.locks[key] = e
+			}
+			if cur, held := e.holders[t.id]; !held || (cur == lockShared && mode == lockExclusive) {
+				e.holders[t.id] = mode // grant or upgrade
+			}
+			if prev, held := t.locks[key]; !held || (prev == lockShared && mode == lockExclusive) {
+				t.locks[key] = mode
+			}
+			s.mu.Unlock()
+			return nil
+		}
+		if s.policy == WaitDiePolicy && s.mustDie(t, key, mode) {
+			s.mu.Unlock()
+			return fmt.Errorf("%w (key %s)", ErrWaitDie, key)
+		}
+		ch := s.waitCh
+		s.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return ErrLockTimeout
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return ErrLockTimeout
+		}
+		s.mu.Lock()
+	}
+}
+
+// releaseLocks drops every lock held by t and wakes waiters. Requires s.mu
+// held.
+func (s *Store) releaseLocks(t *txn) {
+	for key := range t.locks {
+		if e := s.locks[key]; e != nil {
+			delete(e.holders, t.id)
+			if len(e.holders) == 0 {
+				delete(s.locks, key)
+			}
+		}
+	}
+	t.locks = map[string]lockMode{}
+	close(s.waitCh)
+	s.waitCh = make(chan struct{})
+}
+
+func (s *Store) activeTxn(txid string) (*txn, error) {
+	t, ok := s.txns[txid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTxn, txid)
+	}
+	if t.state != stateActive {
+		return nil, fmt.Errorf("%w: %s", ErrNotActive, txid)
+	}
+	return t, nil
+}
+
+// Get reads key under a shared lock, observing the transaction's own staged
+// writes first.
+func (s *Store) Get(txid, key string) (string, error) {
+	s.mu.Lock()
+	t, err := s.activeTxn(txid)
+	s.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	if err := s.acquire(t, key, lockShared); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if op, ok := t.writes[key]; ok {
+		if op.Delete {
+			return "", fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return op.Value, nil
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return v, nil
+}
+
+// Put stages a write under an exclusive lock.
+func (s *Store) Put(txid, key, value string) error {
+	return s.stage(txid, WriteOp{Key: key, Value: value})
+}
+
+// Delete stages a deletion under an exclusive lock.
+func (s *Store) Delete(txid, key string) error {
+	return s.stage(txid, WriteOp{Key: key, Delete: true})
+}
+
+func (s *Store) stage(txid string, op WriteOp) error {
+	s.mu.Lock()
+	t, err := s.activeTxn(txid)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.acquire(t, op.Key, lockExclusive); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := t.writes[op.Key]; !ok {
+		t.order = append(t.order, op.Key)
+	}
+	t.writes[op.Key] = op
+	return nil
+}
+
+// Prepare moves the transaction into the prepared state and returns its
+// write set (the redo image to force to the WAL before voting YES). A
+// prepared transaction keeps its locks and can no longer be mutated; only
+// Commit or Abort resolve it.
+func (s *Store) Prepare(txid string) ([]WriteOp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.activeTxn(txid)
+	if err != nil {
+		return nil, err
+	}
+	t.state = statePrepared
+	ops := make([]WriteOp, 0, len(t.order))
+	for _, k := range t.order {
+		ops = append(ops, t.writes[k])
+	}
+	return ops, nil
+}
+
+// Commit applies the staged writes and releases locks. Committing an
+// unknown transaction is an error; committing an active (unprepared)
+// transaction is allowed for single-site use.
+func (s *Store) Commit(txid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[txid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txid)
+	}
+	for _, k := range t.order {
+		op := t.writes[k]
+		if op.Delete {
+			delete(s.data, op.Key)
+		} else {
+			s.data[op.Key] = op.Value
+		}
+	}
+	s.releaseLocks(t)
+	delete(s.txns, txid)
+	return nil
+}
+
+// Abort discards the staged writes and releases locks. Aborting an unknown
+// transaction is a no-op (idempotent aborts simplify recovery).
+func (s *Store) Abort(txid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[txid]
+	if !ok {
+		return nil
+	}
+	s.releaseLocks(t)
+	delete(s.txns, txid)
+	return nil
+}
+
+// ApplyRedo applies a recovered write set directly (recovery redo of a
+// transaction whose commit record is in the log but whose effects were lost
+// with volatile state).
+func (s *Store) ApplyRedo(ops []WriteOp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		if op.Delete {
+			delete(s.data, op.Key)
+		} else {
+			s.data[op.Key] = op.Value
+		}
+	}
+}
+
+// Read returns the committed value of key, outside any transaction.
+func (s *Store) Read(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Snapshot copies the committed state, for tests and examples.
+func (s *Store) Snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns the committed keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pending returns the IDs of transactions known to the store (active or
+// prepared), sorted.
+func (s *Store) Pending() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.txns))
+	for id := range s.txns {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+// Package metrics provides the counters and latency summaries used by the
+// benchmark harness: lock-free counters and sample-based histograms with
+// percentile extraction.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram collects duration samples and reports order statistics. Safe
+// for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// sortLocked sorts samples in place; requires h.mu held.
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-th (0..1) order statistic, or 0 with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Min and Max return the extremes, or 0 with no samples.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary formats count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Timer measures one operation into a histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing into h.
+func StartTimer(h *Histogram) Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the elapsed time.
+func (t Timer) Stop() { t.h.Observe(time.Since(t.start)) }

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{30, 10, 20, 40, 50} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 30 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1.0); q != 50 {
+		t.Fatalf("p100 = %v", q)
+	}
+	if q := h.Quantile(0.0); q != 10 {
+		t.Fatalf("p0 = %v", q)
+	}
+	if s := h.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var h Histogram
+	timer := StartTimer(&h)
+	time.Sleep(time.Millisecond)
+	timer.Stop()
+	if h.Count() != 1 || h.Max() < time.Millisecond {
+		t.Fatalf("timer sample = %v", h.Max())
+	}
+}
+
+// TestQuickQuantileMonotone: quantiles are monotone in q and bounded by
+// min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

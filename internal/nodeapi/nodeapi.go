@@ -1,0 +1,234 @@
+// Package nodeapi implements the line-oriented client protocol served by
+// kvnode: a connected client opens one transaction at a time, issues reads
+// and writes against any site (the serving node executes remote operations
+// through the data plane), and commits through the node's engine.
+//
+// Protocol (one line per request/response):
+//
+//	BEGIN                 -> OK <txid>
+//	GET <site> <key>      -> VAL <value> | ERR <msg>
+//	PUT <site> <key> <v>  -> OK | ERR <msg>
+//	DEL <site> <key>      -> OK | ERR <msg>
+//	COMMIT                -> COMMITTED | ABORTED | ERR <msg>
+//	ABORT                 -> OK
+package nodeapi
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbcommit/internal/engine"
+	"nbcommit/internal/kv"
+	"nbcommit/internal/remote"
+)
+
+var txSeq atomic.Uint64
+
+// API coordinates client transactions on behalf of one node.
+type API struct {
+	// Self is the serving node's site ID.
+	Self int
+	// Site is the node's commit engine.
+	Site *engine.Site
+	// Store is the node's local store.
+	Store *kv.Store
+	// Client executes data-plane operations at peers.
+	Client *remote.Client
+	// Timeout is the engine's protocol timeout; COMMIT waits a multiple of
+	// it.
+	Timeout time.Duration
+	// Paradigm selects central-site (default) or decentralized commitment.
+	Paradigm string // "central" or "decentralized"
+}
+
+// Serve handles one client connection until it closes.
+func (a *API) Serve(conn net.Conn) {
+	defer conn.Close()
+	s := &Session{api: a, touched: map[int]bool{}}
+	defer s.Cleanup()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		fmt.Fprintln(w, s.Execute(sc.Text()))
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Session is one client's transaction state.
+type Session struct {
+	api     *API
+	mu      sync.Mutex
+	txid    string
+	touched map[int]bool
+}
+
+// Cleanup aborts any transaction left open (e.g. the connection dropped).
+func (s *Session) Cleanup() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.txid != "" {
+		s.abortLocked()
+	}
+}
+
+func (s *Session) abortLocked() {
+	for site := range s.touched {
+		if site == s.api.Self {
+			_ = s.api.Store.Abort(s.txid)
+		} else {
+			_, _ = s.api.Client.Call(site, s.txid, remote.OpAbort, "", "")
+		}
+	}
+	s.txid = ""
+	s.touched = map[int]bool{}
+}
+
+func (s *Session) enlist(site int) error {
+	if s.touched[site] {
+		return nil
+	}
+	var err error
+	if site == s.api.Self {
+		err = s.api.Store.Begin(s.txid)
+	} else {
+		_, err = s.api.Client.Call(site, s.txid, remote.OpBegin, "", "")
+	}
+	if err != nil {
+		return err
+	}
+	s.touched[site] = true
+	return nil
+}
+
+// Execute runs one protocol line and returns the response line.
+func (s *Session) Execute(line string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	args := strings.Fields(line)
+	if len(args) == 0 {
+		return "ERR empty command"
+	}
+	switch cmd := strings.ToUpper(args[0]); cmd {
+	case "BEGIN":
+		return s.begin()
+	case "GET", "PUT", "DEL":
+		return s.operate(cmd, args[1:])
+	case "COMMIT":
+		return s.commit()
+	case "ABORT":
+		if s.txid == "" {
+			return "ERR no open transaction"
+		}
+		s.abortLocked()
+		return "OK"
+	default:
+		return "ERR unknown command " + cmd
+	}
+}
+
+func (s *Session) begin() string {
+	if s.txid != "" {
+		return "ERR transaction already open"
+	}
+	s.txid = fmt.Sprintf("tx-%d-%d", s.api.Self, txSeq.Add(1))
+	if err := s.enlist(s.api.Self); err != nil {
+		s.txid = ""
+		return "ERR " + err.Error()
+	}
+	return "OK " + s.txid
+}
+
+func (s *Session) operate(cmd string, args []string) string {
+	if s.txid == "" {
+		return "ERR no open transaction (BEGIN first)"
+	}
+	if len(args) < 2 {
+		return "ERR usage: " + cmd + " <site> <key> [value]"
+	}
+	site, err := strconv.Atoi(args[0])
+	if err != nil || site < 1 {
+		return "ERR bad site"
+	}
+	if err := s.enlist(site); err != nil {
+		return "ERR " + err.Error()
+	}
+	key := args[1]
+	switch cmd {
+	case "GET":
+		v, err := s.opAt(site, remote.OpGet, key, "")
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "VAL " + v
+	case "PUT":
+		if len(args) < 3 {
+			return "ERR usage: PUT <site> <key> <value>"
+		}
+		if _, err := s.opAt(site, remote.OpPut, key, strings.Join(args[2:], " ")); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	default: // DEL
+		if _, err := s.opAt(site, remote.OpDelete, key, ""); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	}
+}
+
+func (s *Session) commit() string {
+	if s.txid == "" {
+		return "ERR no open transaction"
+	}
+	sites := make([]int, 0, len(s.touched))
+	for site := range s.touched {
+		sites = append(sites, site)
+	}
+	var err error
+	if s.api.Paradigm == "decentralized" {
+		err = s.api.Site.BeginPeer(s.txid, sites)
+	} else {
+		err = s.api.Site.Begin(s.txid, sites)
+	}
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	o, werr := s.api.Site.WaitOutcome(s.txid, 20*s.api.Timeout)
+	s.txid = ""
+	s.touched = map[int]bool{}
+	if werr != nil {
+		return "ERR " + werr.Error()
+	}
+	switch o {
+	case engine.OutcomeCommitted:
+		return "COMMITTED"
+	case engine.OutcomeAborted:
+		return "ABORTED"
+	default:
+		return "ERR still pending (possibly blocked)"
+	}
+}
+
+// opAt executes one data-plane operation locally or at a peer.
+func (s *Session) opAt(site int, op, key, value string) (string, error) {
+	if site == s.api.Self {
+		switch op {
+		case remote.OpGet:
+			return s.api.Store.Get(s.txid, key)
+		case remote.OpPut:
+			return "", s.api.Store.Put(s.txid, key, value)
+		case remote.OpDelete:
+			return "", s.api.Store.Delete(s.txid, key)
+		}
+		return "", fmt.Errorf("bad op %s", op)
+	}
+	return s.api.Client.Call(site, s.txid, op, key, value)
+}

@@ -1,0 +1,267 @@
+package nodeapi
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"nbcommit/internal/dtx"
+	"nbcommit/internal/engine"
+	"nbcommit/internal/failure"
+	"nbcommit/internal/kv"
+	"nbcommit/internal/remote"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// node bundles one in-process site with its data plane, as kvnode wires it.
+type node struct {
+	id     int
+	store  *kv.Store
+	site   *engine.Site
+	client *remote.Client
+}
+
+// testCluster builds n nodes over the in-memory network with the oracle
+// detector (the node wiring minus TCP and heartbeats).
+func testCluster(t *testing.T, n int) (map[int]*node, *transport.Network) {
+	t.Helper()
+	net := transport.NewNetwork()
+	det := failure.NewOracle(net)
+	nodes := map[int]*node{}
+	for i := 1; i <= n; i++ {
+		i := i
+		ep := net.Endpoint(i)
+		store := kv.NewStore(kv.Options{LockTimeout: 50 * time.Millisecond})
+		server := &remote.Server{Store: store, Send: ep.Send}
+		client := remote.NewClient(ep.Send, 300*time.Millisecond)
+		site, err := engine.New(engine.Config{
+			ID:       i,
+			Endpoint: ep,
+			Log:      wal.NewMemoryLog(),
+			Resource: dtx.StoreResource{Store: store},
+			Detector: det,
+			Protocol: engine.ThreePhase,
+			Timeout:  60 * time.Millisecond,
+			Unhandled: func(m transport.Message) {
+				switch m.Kind {
+				case remote.KindOp:
+					go server.Handle(m)
+				case remote.KindReply:
+					client.Deliver(m)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		site.Start()
+		nodes[i] = &node{id: i, store: store, site: site, client: client}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.site.Stop()
+		}
+	})
+	return nodes, net
+}
+
+// waitRead polls a store until key holds want (COMMITTED means the decision
+// is durable at the coordinator; participants apply it asynchronously).
+func waitRead(t *testing.T, store *kv.Store, key, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := store.Read(key); ok && v == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	v, ok := store.Read(key)
+	t.Fatalf("%s = %q/%v, want %q", key, v, ok, want)
+}
+
+// waitGone polls until key disappears from the store.
+func waitGone(t *testing.T, store *kv.Store, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := store.Read(key); !ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%s still present", key)
+}
+
+func api(nd *node) *API {
+	return &API{
+		Self: nd.id, Site: nd.site, Store: nd.store,
+		Client: nd.client, Timeout: 60 * time.Millisecond,
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	nodes, _ := testCluster(t, 3)
+	s := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+
+	reply := s.Execute("BEGIN")
+	if !strings.HasPrefix(reply, "OK tx-1-") {
+		t.Fatalf("BEGIN = %q", reply)
+	}
+	if got := s.Execute("PUT 2 color blue"); got != "OK" {
+		t.Fatalf("PUT = %q", got)
+	}
+	if got := s.Execute("PUT 3 shape round here"); got != "OK" {
+		t.Fatalf("PUT multiword = %q", got)
+	}
+	if got := s.Execute("GET 2 color"); got != "VAL blue" {
+		t.Fatalf("GET = %q", got)
+	}
+	if got := s.Execute("GET 3 shape"); got != "VAL round here" {
+		t.Fatalf("GET multiword = %q", got)
+	}
+	if got := s.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("COMMIT = %q", got)
+	}
+	// Data becomes durable at the remote stores.
+	waitRead(t, nodes[2].store, "color", "blue")
+	waitRead(t, nodes[3].store, "shape", "round here")
+
+	// Second transaction on the same session: delete.
+	s.Execute("BEGIN")
+	if got := s.Execute("DEL 2 color"); got != "OK" {
+		t.Fatalf("DEL = %q", got)
+	}
+	if got := s.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("COMMIT = %q", got)
+	}
+	waitGone(t, nodes[2].store, "color")
+}
+
+func TestSessionErrors(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	s := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+
+	for line, wantPrefix := range map[string]string{
+		"":          "ERR empty",
+		"NOPE":      "ERR unknown command",
+		"PUT 2 k v": "ERR no open transaction",
+		"GET 2 k":   "ERR no open transaction",
+		"COMMIT":    "ERR no open transaction",
+		"ABORT":     "ERR no open transaction",
+	} {
+		if got := s.Execute(line); !strings.HasPrefix(got, wantPrefix) {
+			t.Errorf("%q = %q, want prefix %q", line, got, wantPrefix)
+		}
+	}
+	s.Execute("BEGIN")
+	if got := s.Execute("BEGIN"); !strings.HasPrefix(got, "ERR transaction already open") {
+		t.Fatalf("double BEGIN = %q", got)
+	}
+	if got := s.Execute("PUT x k v"); !strings.HasPrefix(got, "ERR bad site") {
+		t.Fatalf("bad site = %q", got)
+	}
+	if got := s.Execute("PUT 2"); !strings.HasPrefix(got, "ERR usage") {
+		t.Fatalf("short PUT = %q", got)
+	}
+	if got := s.Execute("PUT 2 k"); !strings.HasPrefix(got, "ERR usage") {
+		t.Fatalf("valueless PUT = %q", got)
+	}
+	if got := s.Execute("GET 2 missing"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("missing key = %q", got)
+	}
+	if got := s.Execute("ABORT"); got != "OK" {
+		t.Fatalf("ABORT = %q", got)
+	}
+}
+
+func TestSessionAbortRollsBack(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	s := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+	s.Execute("BEGIN")
+	s.Execute("PUT 2 k v")
+	if got := s.Execute("ABORT"); got != "OK" {
+		t.Fatalf("ABORT = %q", got)
+	}
+	if _, ok := nodes[2].store.Read("k"); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+func TestSessionCleanupAbortsOpenTxn(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	s := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+	s.Execute("BEGIN")
+	s.Execute("PUT 2 k v")
+	s.Cleanup() // connection dropped
+	if _, ok := nodes[2].store.Read("k"); ok {
+		t.Fatal("dangling write after cleanup")
+	}
+	if p := nodes[2].store.Pending(); len(p) != 0 {
+		t.Fatalf("pending transactions after cleanup: %v", p)
+	}
+}
+
+func TestSessionLockConflictSurfacesAsError(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	s1 := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+	s2 := &Session{api: api(nodes[2]), touched: map[int]bool{}}
+	s1.Execute("BEGIN")
+	if got := s1.Execute("PUT 2 hot v1"); got != "OK" {
+		t.Fatalf("s1 PUT = %q", got)
+	}
+	s2.Execute("BEGIN")
+	if got := s2.Execute("PUT 2 hot v2"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("conflicting PUT = %q", got)
+	}
+	s2.Execute("ABORT")
+	if got := s1.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("s1 COMMIT = %q", got)
+	}
+	waitRead(t, nodes[2].store, "hot", "v1")
+}
+
+func TestServeOverRealConnection(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	a := api(nodes[1])
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			a.Serve(conn)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(line string) string {
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(reply)
+	}
+	if got := send("BEGIN"); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("BEGIN = %q", got)
+	}
+	if got := send("PUT 2 wire works"); got != "OK" {
+		t.Fatalf("PUT = %q", got)
+	}
+	if got := send("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("COMMIT = %q", got)
+	}
+	waitRead(t, nodes[2].store, "wire", "works")
+}

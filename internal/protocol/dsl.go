@@ -1,0 +1,437 @@
+package protocol
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Compile builds a Protocol from a textual definition, so new commit
+// protocols can be designed and analyzed without writing Go. The language
+// mirrors the paper's figures: roles, states with initial/commit/abort
+// markers, and message-driven transitions.
+//
+// Example (the central-site 2PC of slide 15):
+//
+//	protocol my-2pc
+//	roles coordinator@1 slave@rest
+//	init request@1
+//
+//	role coordinator
+//	  states q* w a! c+
+//	  q -> w : recv request@env          ; send xact@slaves
+//	  w -> c : recv yes@slaves           ; send commit@slaves ; vote yes
+//	  w -> a : recv yes@slaves           ; send abort@slaves  ; vote no
+//	  w -> a : recv no@any               ; send abort@slaves
+//
+//	role slave
+//	  states q* w a! c+
+//	  q -> w : recv xact@coordinator     ; send yes@coordinator ; vote yes
+//	  q -> a : recv xact@coordinator     ; send no@coordinator  ; vote no
+//	  w -> c : recv commit@coordinator
+//	  w -> a : recv abort@coordinator
+//
+// Destinations: @env (the environment; recv/init only), @any (wildcard
+// sender; recv only), @self, @all (every site including self), @peers
+// (every other site), @coordinator / @<rolename> (every site bound to that
+// role, excluding self), @slaves (alias for the non-first role), or @<n>
+// (a literal site number). `roles r@1 s@rest` binds r to site 1 and s to
+// the remaining sites; `roles p@all` declares a single symmetric role.
+// State markers: `*` initial, `+` commit, `!` abort; unmarked states are
+// intermediate. Lines starting with # are comments.
+//
+// n is the number of participating sites the protocol is instantiated for.
+func Compile(src string, n int) (*Protocol, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("protocol: need at least 2 sites, got %d", n)
+	}
+	c := &compiler{n: n, roles: map[string][]SiteID{}}
+	if err := c.parse(src); err != nil {
+		return nil, err
+	}
+	return c.build()
+}
+
+type dslTransition struct {
+	from, to StateID
+	recvs    []dslMsg
+	sends    []dslMsg
+	vote     Vote
+	line     int
+}
+
+type dslMsg struct {
+	name string
+	dest string // raw destination token, resolved per site at build time
+}
+
+type dslRole struct {
+	name   string
+	states map[StateID]StateKind
+	order  []StateID
+	init   StateID
+	trans  []dslTransition
+}
+
+type compiler struct {
+	n        int
+	name     string
+	roles    map[string][]SiteID // role name -> bound sites
+	roleSeq  []string
+	sections []*dslRole
+	inits    []dslMsg
+}
+
+func (c *compiler) parse(src string) error {
+	var cur *dslRole
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		ln := lineNo + 1
+		switch fields[0] {
+		case "protocol":
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: usage: protocol <name>", ln)
+			}
+			c.name = fields[1]
+		case "roles":
+			if err := c.parseRoles(fields[1:], ln); err != nil {
+				return err
+			}
+		case "init":
+			msgs, err := parseMsgSpecs(fields[1:], ln)
+			if err != nil {
+				return err
+			}
+			c.inits = append(c.inits, msgs...)
+		case "role":
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: usage: role <name>", ln)
+			}
+			if _, ok := c.roles[fields[1]]; !ok {
+				return fmt.Errorf("line %d: role %q not declared in roles", ln, fields[1])
+			}
+			cur = &dslRole{name: fields[1], states: map[StateID]StateKind{}}
+			c.sections = append(c.sections, cur)
+		case "states":
+			if cur == nil {
+				return fmt.Errorf("line %d: states outside a role section", ln)
+			}
+			if err := cur.parseStates(fields[1:], ln); err != nil {
+				return err
+			}
+		default:
+			if cur == nil {
+				return fmt.Errorf("line %d: unexpected %q outside a role section", ln, fields[0])
+			}
+			if err := cur.parseTransition(line, ln); err != nil {
+				return err
+			}
+		}
+	}
+	if c.name == "" {
+		return fmt.Errorf("protocol: missing `protocol <name>` line")
+	}
+	if len(c.roleSeq) == 0 {
+		return fmt.Errorf("protocol: missing `roles` line")
+	}
+	return nil
+}
+
+func (c *compiler) parseRoles(tokens []string, ln int) error {
+	if len(tokens) == 0 {
+		return fmt.Errorf("line %d: roles needs at least one binding", ln)
+	}
+	bound := map[SiteID]bool{}
+	var rest string
+	for _, tok := range tokens {
+		parts := strings.SplitN(tok, "@", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("line %d: bad role binding %q (want name@site)", ln, tok)
+		}
+		name, where := parts[0], parts[1]
+		if _, dup := c.roles[name]; dup {
+			return fmt.Errorf("line %d: role %q bound twice", ln, name)
+		}
+		c.roleSeq = append(c.roleSeq, name)
+		switch where {
+		case "all":
+			if len(tokens) != 1 {
+				return fmt.Errorf("line %d: @all must be the only role", ln)
+			}
+			for i := 1; i <= c.n; i++ {
+				c.roles[name] = append(c.roles[name], SiteID(i))
+			}
+		case "rest":
+			if rest != "" {
+				return fmt.Errorf("line %d: only one role may bind @rest", ln)
+			}
+			rest = name
+			c.roles[name] = nil // filled below
+		default:
+			id, err := strconv.Atoi(where)
+			if err != nil || id < 1 || id > c.n {
+				return fmt.Errorf("line %d: bad site %q in role binding", ln, where)
+			}
+			if bound[SiteID(id)] {
+				return fmt.Errorf("line %d: site %d bound twice", ln, id)
+			}
+			bound[SiteID(id)] = true
+			c.roles[name] = append(c.roles[name], SiteID(id))
+		}
+	}
+	if rest != "" {
+		for i := 1; i <= c.n; i++ {
+			if !bound[SiteID(i)] {
+				c.roles[rest] = append(c.roles[rest], SiteID(i))
+			}
+		}
+		if len(c.roles[rest]) == 0 {
+			return fmt.Errorf("line %d: @rest binds no sites for n=%d", ln, c.n)
+		}
+	}
+	return nil
+}
+
+func (r *dslRole) parseStates(tokens []string, ln int) error {
+	if len(tokens) == 0 {
+		return fmt.Errorf("line %d: states needs at least one state", ln)
+	}
+	for _, tok := range tokens {
+		kind := KindIntermediate
+		name := tok
+		switch {
+		case strings.HasSuffix(tok, "*"):
+			kind = KindInitial
+			name = strings.TrimSuffix(tok, "*")
+		case strings.HasSuffix(tok, "+"):
+			kind = KindCommit
+			name = strings.TrimSuffix(tok, "+")
+		case strings.HasSuffix(tok, "!"):
+			kind = KindAbort
+			name = strings.TrimSuffix(tok, "!")
+		}
+		if name == "" {
+			return fmt.Errorf("line %d: empty state name in %q", ln, tok)
+		}
+		id := StateID(name)
+		if _, dup := r.states[id]; dup {
+			return fmt.Errorf("line %d: state %q declared twice", ln, name)
+		}
+		r.states[id] = kind
+		r.order = append(r.order, id)
+		if kind == KindInitial {
+			if r.init != "" {
+				return fmt.Errorf("line %d: two initial states (%s, %s)", ln, r.init, name)
+			}
+			r.init = id
+		}
+	}
+	return nil
+}
+
+// parseTransition handles "from -> to : recv ... [; send ...] [; vote yes]".
+func (r *dslRole) parseTransition(line string, ln int) error {
+	head, rest, ok := strings.Cut(line, ":")
+	if !ok {
+		return fmt.Errorf("line %d: transition needs `from -> to : ...`", ln)
+	}
+	fromTo := strings.Split(head, "->")
+	if len(fromTo) != 2 {
+		return fmt.Errorf("line %d: bad transition head %q", ln, strings.TrimSpace(head))
+	}
+	tr := dslTransition{
+		from: StateID(strings.TrimSpace(fromTo[0])),
+		to:   StateID(strings.TrimSpace(fromTo[1])),
+		line: ln,
+	}
+	for _, clause := range strings.Split(rest, ";") {
+		fields := strings.Fields(clause)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "recv":
+			msgs, err := parseMsgSpecs(fields[1:], ln)
+			if err != nil {
+				return err
+			}
+			tr.recvs = append(tr.recvs, msgs...)
+		case "send":
+			msgs, err := parseMsgSpecs(fields[1:], ln)
+			if err != nil {
+				return err
+			}
+			tr.sends = append(tr.sends, msgs...)
+		case "vote":
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: usage: vote yes|no", ln)
+			}
+			switch fields[1] {
+			case "yes":
+				tr.vote = VoteYes
+			case "no":
+				tr.vote = VoteNo
+			default:
+				return fmt.Errorf("line %d: bad vote %q", ln, fields[1])
+			}
+		default:
+			return fmt.Errorf("line %d: unknown clause %q", ln, fields[0])
+		}
+	}
+	if len(tr.recvs) == 0 {
+		return fmt.Errorf("line %d: transition reads no messages", ln)
+	}
+	r.trans = append(r.trans, tr)
+	return nil
+}
+
+func parseMsgSpecs(tokens []string, ln int) ([]dslMsg, error) {
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("line %d: empty message list", ln)
+	}
+	var out []dslMsg
+	for _, tok := range tokens {
+		name, dest, ok := strings.Cut(tok, "@")
+		if !ok || name == "" || dest == "" {
+			return nil, fmt.Errorf("line %d: bad message %q (want name@dest)", ln, tok)
+		}
+		out = append(out, dslMsg{name: name, dest: dest})
+	}
+	return out, nil
+}
+
+// resolve expands a destination token for a given site into site IDs.
+// Wildcards and env return the pseudo-IDs AnySite / Env.
+func (c *compiler) resolve(dest string, self SiteID) ([]SiteID, error) {
+	switch dest {
+	case "env":
+		return []SiteID{Env}, nil
+	case "any":
+		return []SiteID{AnySite}, nil
+	case "self":
+		return []SiteID{self}, nil
+	case "all":
+		out := make([]SiteID, 0, c.n)
+		for i := 1; i <= c.n; i++ {
+			out = append(out, SiteID(i))
+		}
+		return out, nil
+	case "peers":
+		out := make([]SiteID, 0, c.n-1)
+		for i := 1; i <= c.n; i++ {
+			if SiteID(i) != self {
+				out = append(out, SiteID(i))
+			}
+		}
+		return out, nil
+	case "slaves":
+		if len(c.roleSeq) < 2 {
+			return nil, fmt.Errorf("@slaves needs a second role")
+		}
+		dest = c.roleSeq[1]
+	}
+	if sites, ok := c.roles[dest]; ok {
+		var out []SiteID
+		for _, s := range sites {
+			if s != self {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("destination @%s resolves to no sites from site %d", dest, int(self))
+		}
+		return out, nil
+	}
+	if id, err := strconv.Atoi(dest); err == nil {
+		if id < 1 || id > c.n {
+			return nil, fmt.Errorf("destination @%d out of range", id)
+		}
+		return []SiteID{SiteID(id)}, nil
+	}
+	return nil, fmt.Errorf("unknown destination @%s", dest)
+}
+
+func (c *compiler) build() (*Protocol, error) {
+	sections := map[string]*dslRole{}
+	for _, sec := range c.sections {
+		sections[sec.name] = sec
+	}
+	for _, name := range c.roleSeq {
+		if sections[name] == nil {
+			return nil, fmt.Errorf("protocol %s: role %q has no section", c.name, name)
+		}
+		if sections[name].init == "" {
+			return nil, fmt.Errorf("protocol %s: role %q has no initial state", c.name, name)
+		}
+	}
+
+	sites := make([]*Automaton, c.n)
+	for _, name := range c.roleSeq {
+		sec := sections[name]
+		for _, self := range c.roles[name] {
+			a := &Automaton{
+				Site: self, Name: name, Initial: sec.init,
+				States: map[StateID]StateKind{},
+			}
+			for id, k := range sec.states {
+				a.States[id] = k
+			}
+			for _, tr := range sec.trans {
+				t := Transition{From: tr.from, To: tr.to, Vote: tr.vote}
+				for _, m := range tr.recvs {
+					froms, err := c.resolve(m.dest, self)
+					if err != nil {
+						return nil, fmt.Errorf("protocol %s line %d: %v", c.name, tr.line, err)
+					}
+					for _, f := range froms {
+						t.Reads = append(t.Reads, Pattern{Name: m.name, From: f})
+					}
+				}
+				for _, m := range tr.sends {
+					tos, err := c.resolve(m.dest, self)
+					if err != nil {
+						return nil, fmt.Errorf("protocol %s line %d: %v", c.name, tr.line, err)
+					}
+					for _, to := range tos {
+						if to == Env || to == AnySite {
+							return nil, fmt.Errorf("protocol %s line %d: cannot send to @%s", c.name, tr.line, m.dest)
+						}
+						t.Sends = append(t.Sends, Msg{Name: m.name, From: self, To: to})
+					}
+				}
+				a.Transitions = append(a.Transitions, t)
+			}
+			sites[int(self)-1] = a
+		}
+	}
+	for i, a := range sites {
+		if a == nil {
+			return nil, fmt.Errorf("protocol %s: site %d bound to no role", c.name, i+1)
+		}
+	}
+
+	p := &Protocol{Name: fmt.Sprintf("%s (n=%d)", c.name, c.n), Sites: sites}
+	for _, m := range c.inits {
+		dests, err := c.resolve(m.dest, 0)
+		if err != nil {
+			return nil, fmt.Errorf("protocol %s: init: %v", c.name, err)
+		}
+		for _, d := range dests {
+			if d == Env || d == AnySite {
+				return nil, fmt.Errorf("protocol %s: init cannot target @%s", c.name, m.dest)
+			}
+			p.Initial = append(p.Initial, Msg{Name: m.name, From: Env, To: d})
+		}
+	}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

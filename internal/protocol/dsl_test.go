@@ -1,0 +1,166 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+const dsl2PC = `
+# The central-site 2PC of slide 15.
+protocol my-2pc
+roles coordinator@1 slave@rest
+init request@1
+
+role coordinator
+  states q* w a! c+
+  q -> w : recv request@env ; send xact@slaves
+  w -> c : recv yes@slaves  ; send commit@slaves ; vote yes
+  w -> a : recv yes@slaves  ; send abort@slaves  ; vote no
+  w -> a : recv no@any      ; send abort@slaves
+
+role slave
+  states q* w a! c+
+  q -> w : recv xact@coordinator ; send yes@coordinator ; vote yes
+  q -> a : recv xact@coordinator ; send no@coordinator  ; vote no
+  w -> c : recv commit@coordinator
+  w -> a : recv abort@coordinator
+`
+
+const dslDecentral3PC = `
+protocol my-d3pc
+roles peer@all
+init xact@all
+
+role peer
+  states q* w p a! c+
+  q -> w : recv xact@env ; send yes@all ; vote yes
+  q -> a : recv xact@env ; send no@all  ; vote no
+  w -> p : recv yes@all  ; send prepare@all
+  w -> a : recv no@any
+  p -> c : recv prepare@all
+`
+
+func TestCompileCentral2PC(t *testing.T) {
+	p, err := Compile(dsl2PC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 3 || !strings.HasPrefix(p.Name, "my-2pc") {
+		t.Fatalf("protocol = %v", p)
+	}
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator reads a vote from each slave on its commit edge.
+	coord := p.Sites[0]
+	if coord.Name != "coordinator" {
+		t.Fatalf("site 1 role = %s", coord.Name)
+	}
+	var commit *Transition
+	for i := range coord.Transitions {
+		if coord.Transitions[i].To == "c" {
+			commit = &coord.Transitions[i]
+		}
+	}
+	if commit == nil || len(commit.Reads) != 2 || commit.Vote != VoteYes {
+		t.Fatalf("commit transition = %+v", commit)
+	}
+	if len(commit.Sends) != 2 {
+		t.Fatalf("commit sends = %v", commit.Sends)
+	}
+	// Slaves are slaves.
+	for _, site := range p.Sites[1:] {
+		if site.Name != "slave" {
+			t.Fatalf("site %d role = %s", site.Site, site.Name)
+		}
+	}
+	// The initial environment message targets the coordinator.
+	if len(p.Initial) != 1 || p.Initial[0].To != 1 || p.Initial[0].Name != "request" {
+		t.Fatalf("initial = %v", p.Initial)
+	}
+	// And phases come out right.
+	if ph, err := Phases(p); err != nil || ph != 2 {
+		t.Fatalf("phases = %d, %v", ph, err)
+	}
+}
+
+func TestCompileDecentralized3PC(t *testing.T) {
+	p, err := Compile(dslDecentral3PC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Initial) != 4 {
+		t.Fatalf("initial = %v", p.Initial)
+	}
+	for _, a := range p.Sites {
+		if a.Name != "peer" {
+			t.Fatalf("site %d role = %s", a.Site, a.Name)
+		}
+		// @all includes self: the vote broadcast has 4 destinations.
+		for _, tr := range a.Transitions {
+			if tr.Vote == VoteYes && len(tr.Sends) != 4 {
+				t.Fatalf("site %d yes-vote sends %d messages", a.Site, len(tr.Sends))
+			}
+		}
+	}
+	if ph, err := Phases(p); err != nil || ph != 3 {
+		t.Fatalf("phases = %d, %v", ph, err)
+	}
+}
+
+func TestCompileWildcardAndSelf(t *testing.T) {
+	p, err := Compile(dsl2PC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := p.Sites[0]
+	found := false
+	for _, tr := range coord.Transitions {
+		for _, r := range tr.Reads {
+			if r.From == AnySite && r.Name == "no" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("@any did not compile to a wildcard pattern")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no protocol", "roles p@all\nrole p\n  states q* c+\n  q -> c : recv x@env", "missing `protocol"},
+		{"no roles", "protocol x", "missing `roles`"},
+		{"bad binding", "protocol x\nroles p", "bad role binding"},
+		{"dup role", "protocol x\nroles p@1 p@rest", "bound twice"},
+		{"dup site", "protocol x\nroles p@1 q@1", "bound twice"},
+		{"two rest", "protocol x\nroles p@rest q@rest", "only one role may bind @rest"},
+		{"all plus", "protocol x\nroles p@all q@1", "@all must be the only role"},
+		{"undeclared role", "protocol x\nroles p@all\nrole z", `role "z" not declared`},
+		{"states outside", "protocol x\nroles p@all\nstates q*", "outside a role"},
+		{"trans outside", "protocol x\nroles p@all\nq -> c : recv x@env", "outside a role"},
+		{"two initials", "protocol x\nroles p@all\nrole p\n  states q* w* c+", "two initial states"},
+		{"dup state", "protocol x\nroles p@all\nrole p\n  states q* q c+", "declared twice"},
+		{"no recv", "protocol x\nroles p@all\nrole p\n  states q* c+\n  q -> c : send x@all", "reads no messages"},
+		{"bad msg", "protocol x\nroles p@all\nrole p\n  states q* c+\n  q -> c : recv x", "bad message"},
+		{"bad vote", "protocol x\nroles p@all\nrole p\n  states q* c+\n  q -> c : recv x@env ; vote maybe", "bad vote"},
+		{"bad clause", "protocol x\nroles p@all\nrole p\n  states q* c+\n  q -> c : frobnicate x@env", "unknown clause"},
+		{"bad dest", "protocol x\nroles p@all\ninit m@all\nrole p\n  states q* c+\n  q -> c : recv m@env ; send y@bogus", "unknown destination"},
+		{"send to env", "protocol x\nroles p@all\ninit m@all\nrole p\n  states q* c+\n  q -> c : recv m@env ; send y@env", "cannot send to @env"},
+		{"missing section", "protocol x\nroles p@1 q@rest\nrole p\n  states q* c+\n  q -> c : recv m@env", `role "q" has no section`},
+		{"no initial", "protocol x\nroles p@all\nrole p\n  states w c+\n  w -> c : recv m@env", "no initial state"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, 3)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+	if _, err := Compile(dsl2PC, 1); err == nil {
+		t.Fatal("n=1 should fail")
+	}
+}

@@ -1,0 +1,24 @@
+package protocol
+
+import "testing"
+
+// FuzzCompile: arbitrary DSL sources never panic the compiler, and whatever
+// compiles also validates.
+func FuzzCompile(f *testing.F) {
+	f.Add("protocol p\nroles a@all\ninit x@all\nrole a\n  states q* c+ a!\n  q -> c : recv x@env", 3)
+	f.Add("protocol p\nroles a@1 b@rest\nrole a\n states q*", 2)
+	f.Add("", 2)
+	f.Add("garbage\n###", 4)
+	f.Fuzz(func(t *testing.T, src string, n int) {
+		if n < 2 || n > 6 {
+			n = 2 + (n%5+5)%5
+		}
+		p, err := Compile(src, n)
+		if err != nil {
+			return
+		}
+		if verr := Validate(p); verr != nil {
+			t.Fatalf("compiled protocol fails validation: %v\nsource:\n%s", verr, src)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural properties that the paper requires of
+// distributed commit protocol FSAs (slide "Properties of the FSAs"):
+//
+//  1. every automaton has exactly one initial state and at least one final
+//     state, and its final states partition into commit and abort states;
+//  2. every transition references known states, reads a nonempty message
+//     string, and never leaves a final state (commit and abort are
+//     irreversible);
+//  3. the state diagram is acyclic;
+//  4. message destinations and read patterns reference participating sites
+//     (or the environment / wildcard).
+//
+// It returns an error describing the first violation found.
+func Validate(p *Protocol) error {
+	if p.N() < 2 {
+		return fmt.Errorf("protocol %s: fewer than 2 sites", p.Name)
+	}
+	for i, a := range p.Sites {
+		if want := SiteID(i + 1); a.Site != want {
+			return fmt.Errorf("protocol %s: automaton %d has site ID %d, want %d",
+				p.Name, i, int(a.Site), int(want))
+		}
+		if err := validateAutomaton(a, p.N()); err != nil {
+			return fmt.Errorf("protocol %s: %w", p.Name, err)
+		}
+	}
+	for _, m := range p.Initial {
+		if m.From != Env {
+			return fmt.Errorf("protocol %s: initial message %s not from the environment", p.Name, m)
+		}
+		if int(m.To) < 1 || int(m.To) > p.N() {
+			return fmt.Errorf("protocol %s: initial message %s addressed to unknown site", p.Name, m)
+		}
+	}
+	if len(p.Initial) == 0 {
+		return fmt.Errorf("protocol %s: no initial environment messages; no site can ever move", p.Name)
+	}
+	return nil
+}
+
+func validateAutomaton(a *Automaton, n int) error {
+	if len(a.States) == 0 {
+		return fmt.Errorf("site %d: no states", a.Site)
+	}
+	initials, commits, aborts := 0, 0, 0
+	for id, k := range a.States {
+		switch k {
+		case KindInitial:
+			initials++
+			if id != a.Initial {
+				return fmt.Errorf("site %d: state %q marked initial but automaton initial is %q", a.Site, id, a.Initial)
+			}
+		case KindCommit:
+			commits++
+		case KindAbort:
+			aborts++
+		}
+	}
+	if initials != 1 {
+		return fmt.Errorf("site %d: %d initial states, want exactly 1", a.Site, initials)
+	}
+	if _, ok := a.States[a.Initial]; !ok {
+		return fmt.Errorf("site %d: initial state %q not declared", a.Site, a.Initial)
+	}
+	if commits == 0 && aborts == 0 {
+		return fmt.Errorf("site %d: no final states", a.Site)
+	}
+	for _, t := range a.Transitions {
+		fromKind, ok := a.States[t.From]
+		if !ok {
+			return fmt.Errorf("site %d: transition from unknown state %q", a.Site, t.From)
+		}
+		if _, ok := a.States[t.To]; !ok {
+			return fmt.Errorf("site %d: transition to unknown state %q", a.Site, t.To)
+		}
+		if fromKind.Final() {
+			return fmt.Errorf("site %d: transition %s leaves final state %q (commit/abort are irreversible)",
+				a.Site, t, t.From)
+		}
+		if len(t.Reads) == 0 {
+			return fmt.Errorf("site %d: transition %s reads an empty message string", a.Site, t)
+		}
+		for _, r := range t.Reads {
+			if r.From != AnySite && r.From != Env && (int(r.From) < 1 || int(r.From) > n) {
+				return fmt.Errorf("site %d: transition %s reads from unknown site %d", a.Site, t, int(r.From))
+			}
+		}
+		for _, m := range t.Sends {
+			if m.From != a.Site {
+				return fmt.Errorf("site %d: transition %s sends message with forged sender %d", a.Site, t, int(m.From))
+			}
+			if int(m.To) < 1 || int(m.To) > n {
+				return fmt.Errorf("site %d: transition %s sends to unknown site %d", a.Site, t, int(m.To))
+			}
+		}
+	}
+	if cyc := findCycle(a); cyc != "" {
+		return fmt.Errorf("site %d: state diagram is cyclic (%s)", a.Site, cyc)
+	}
+	return nil
+}
+
+// findCycle returns a description of a cycle in the automaton's state
+// diagram, or "" if the diagram is acyclic.
+func findCycle(a *Automaton) string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[StateID]int{}
+	var visit func(s StateID) string
+	visit = func(s StateID) string {
+		color[s] = gray
+		for _, t := range a.Transitions {
+			if t.From != s {
+				continue
+			}
+			switch color[t.To] {
+			case gray:
+				return fmt.Sprintf("%s -> %s closes a cycle", s, t.To)
+			case white:
+				if msg := visit(t.To); msg != "" {
+					return msg
+				}
+			}
+		}
+		color[s] = black
+		return ""
+	}
+	for id := range a.States {
+		if color[id] == white {
+			if msg := visit(id); msg != "" {
+				return msg
+			}
+		}
+	}
+	return ""
+}
+
+// ErrNoUnilateralAbort is returned by CheckUnilateralAbort for protocols, such
+// as 1PC, in which some site cannot abort of its own accord after the
+// transaction has been distributed to it.
+var ErrNoUnilateralAbort = errors.New("protocol: a site cannot unilaterally abort")
+
+// CheckUnilateralAbort verifies that every non-coordinator automaton has a
+// vote-no transition, i.e. that a server may refuse to commit its part of a
+// transaction (needed, e.g., to resolve deadlocks under locking or failed
+// validation under optimistic concurrency control). 1PC fails this check;
+// that is the paper's argument for its inadequacy.
+func CheckUnilateralAbort(p *Protocol) error {
+	for _, a := range p.Sites {
+		if a.Name == "coordinator" {
+			continue
+		}
+		hasNo := false
+		for _, t := range a.Transitions {
+			if t.Vote == VoteNo {
+				hasNo = true
+				break
+			}
+		}
+		if !hasNo {
+			return fmt.Errorf("%w: site %d (%s) in %s", ErrNoUnilateralAbort, a.Site, a.Name, p.Name)
+		}
+	}
+	return nil
+}
+
+// Depth returns the length of the longest transition path from the
+// automaton's initial state to s. A state may be reachable by paths of
+// different lengths (the abort state of 2PC is entered from q or from w);
+// the longest path is what bounds a complete execution. The initial state
+// has depth 0; unreachable states yield an error.
+func (a *Automaton) Depth(s StateID) (int, error) {
+	depth := map[StateID]int{a.Initial: 0}
+	// The diagram is acyclic and small; iterate to the longest-path fixed
+	// point.
+	changed := true
+	for changed {
+		changed = false
+		for _, t := range a.Transitions {
+			d, ok := depth[t.From]
+			if !ok {
+				continue
+			}
+			if prev, ok := depth[t.To]; !ok || d+1 > prev {
+				depth[t.To] = d + 1
+				changed = true
+			}
+		}
+	}
+	d, ok := depth[s]
+	if !ok {
+		return 0, fmt.Errorf("protocol: site %d state %q unreachable from %q", a.Site, s, a.Initial)
+	}
+	return d, nil
+}
+
+// Phases returns the number of phases of the protocol: the maximum number of
+// transitions any site makes on a complete execution ("a phase occurs when
+// all sites executing the protocol make a state transition"). 2PC has two
+// phases, 3PC has three.
+func Phases(p *Protocol) (int, error) {
+	max := 0
+	for _, a := range p.Sites {
+		for id, k := range a.States {
+			if !k.Final() {
+				continue
+			}
+			d, err := a.Depth(id)
+			if err != nil {
+				return 0, err
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max, nil
+}

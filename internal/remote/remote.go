@@ -1,0 +1,157 @@
+// Package remote is the data plane for multi-process deployments: a small
+// request/reply layer over the same transport the commit engine uses, with
+// which a coordinator node executes reads and writes against the stores of
+// its peer nodes before driving the commit protocol.
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nbcommit/internal/kv"
+	"nbcommit/internal/transport"
+)
+
+// Message kinds used by the data plane; route them to Server.Handle and
+// Client.Deliver from the engine's Unhandled hook.
+const (
+	KindOp    = "KV-OP"
+	KindReply = "KV-REPLY"
+)
+
+// Op names.
+const (
+	OpBegin  = "begin"
+	OpGet    = "get"
+	OpPut    = "put"
+	OpDelete = "delete"
+	OpAbort  = "abort"
+)
+
+// Request is one data-plane operation against a peer's store.
+type Request struct {
+	ReqID uint64
+	TxID  string
+	Op    string
+	Key   string
+	Value string
+}
+
+// Reply answers a Request.
+type Reply struct {
+	ReqID uint64
+	Value string
+	Err   string
+}
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("remote: encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Server applies data-plane requests to a local store.
+type Server struct {
+	Store *kv.Store
+	Send  func(transport.Message) error
+}
+
+// Handle processes one KV-OP message and sends the reply.
+func (s *Server) Handle(m transport.Message) {
+	var req Request
+	if err := gob.NewDecoder(bytes.NewReader(m.Body)).Decode(&req); err != nil {
+		return
+	}
+	rep := Reply{ReqID: req.ReqID}
+	var err error
+	switch req.Op {
+	case OpBegin:
+		err = s.Store.Begin(req.TxID)
+	case OpGet:
+		rep.Value, err = s.Store.Get(req.TxID, req.Key)
+	case OpPut:
+		err = s.Store.Put(req.TxID, req.Key, req.Value)
+	case OpDelete:
+		err = s.Store.Delete(req.TxID, req.Key)
+	case OpAbort:
+		err = s.Store.Abort(req.TxID)
+	default:
+		err = fmt.Errorf("remote: unknown op %q", req.Op)
+	}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	_ = s.Send(transport.Message{To: m.From, Kind: KindReply, TxID: req.TxID, Body: encode(rep)})
+}
+
+// ErrTimeout is returned when a peer does not answer in time (it may have
+// crashed; the caller should abort the transaction).
+var ErrTimeout = errors.New("remote: call timed out")
+
+// Client issues data-plane requests and matches replies.
+type Client struct {
+	Send    func(transport.Message) error
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan Reply
+}
+
+// NewClient builds a client with the given send function and per-call
+// timeout.
+func NewClient(send func(transport.Message) error, timeout time.Duration) *Client {
+	return &Client{Send: send, Timeout: timeout, pending: map[uint64]chan Reply{}}
+}
+
+// Deliver routes a KV-REPLY message to its waiting caller.
+func (c *Client) Deliver(m transport.Message) {
+	var rep Reply
+	if err := gob.NewDecoder(bytes.NewReader(m.Body)).Decode(&rep); err != nil {
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[rep.ReqID]
+	delete(c.pending, rep.ReqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- rep
+	}
+}
+
+// Call sends one operation to a peer and waits for the reply.
+func (c *Client) Call(to int, txid, op, key, value string) (string, error) {
+	c.mu.Lock()
+	c.seq++
+	req := Request{ReqID: c.seq, TxID: txid, Op: op, Key: key, Value: value}
+	ch := make(chan Reply, 1)
+	c.pending[req.ReqID] = ch
+	c.mu.Unlock()
+
+	if err := c.Send(transport.Message{To: to, Kind: KindOp, TxID: txid, Body: encode(req)}); err != nil {
+		c.drop(req.ReqID)
+		return "", err
+	}
+	select {
+	case rep := <-ch:
+		if rep.Err != "" {
+			return "", errors.New(rep.Err)
+		}
+		return rep.Value, nil
+	case <-time.After(c.Timeout):
+		c.drop(req.ReqID)
+		return "", fmt.Errorf("%w (site %d, op %s)", ErrTimeout, to, op)
+	}
+}
+
+func (c *Client) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}

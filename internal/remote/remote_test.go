@@ -1,0 +1,95 @@
+package remote
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nbcommit/internal/kv"
+	"nbcommit/internal/transport"
+)
+
+// wire connects a Client at site 1 with a Server at site 2 over the
+// in-memory network, dispatching by message kind as kvnode does.
+func wire(t *testing.T) (*Client, *kv.Store, *transport.Network) {
+	t.Helper()
+	net := transport.NewNetwork()
+	e1 := net.Endpoint(1)
+	e2 := net.Endpoint(2)
+	store := kv.NewStore(kv.Options{LockTimeout: 30 * time.Millisecond})
+	srv := &Server{Store: store, Send: e2.Send}
+	client := NewClient(e1.Send, 500*time.Millisecond)
+	go func() {
+		for m := range e2.Recv() {
+			if m.Kind == KindOp {
+				srv.Handle(m)
+			}
+		}
+	}()
+	go func() {
+		for m := range e1.Recv() {
+			if m.Kind == KindReply {
+				client.Deliver(m)
+			}
+		}
+	}()
+	return client, store, net
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	client, store, _ := wire(t)
+	if _, err := client.Call(2, "t1", OpBegin, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(2, "t1", OpPut, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Call(2, "t1", OpGet, "k", "")
+	if err != nil || v != "v" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if _, err := client.Call(2, "t1", OpDelete, "k", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(2, "t1", OpGet, "k", ""); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Fatalf("get deleted = %v", err)
+	}
+	if _, err := client.Call(2, "t1", OpAbort, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if p := store.Pending(); len(p) != 0 {
+		t.Fatalf("pending after abort: %v", p)
+	}
+}
+
+func TestCallErrorsPropagate(t *testing.T) {
+	client, _, _ := wire(t)
+	// Put without begin: ErrNoTxn surfaces as a string error.
+	if _, err := client.Call(2, "zz", OpPut, "k", "v"); err == nil ||
+		!strings.Contains(err.Error(), "no such transaction") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := client.Call(2, "t", "bogus", "", ""); err == nil ||
+		!strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallTimeoutOnDeadPeer(t *testing.T) {
+	client, _, net := wire(t)
+	client.Timeout = 50 * time.Millisecond
+	net.Crash(2)
+	_, err := client.Call(2, "t1", OpBegin, "", "")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	// The pending entry is cleaned up.
+	client.mu.Lock()
+	n := len(client.pending)
+	client.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("pending leak: %d", n)
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import "math/rand"
+
+// BlockingStats summarizes a failure sweep.
+type BlockingStats struct {
+	Trials         int
+	Blocked        int     // trials in which some operational site blocked
+	Inconsistent   int     // trials violating atomicity (must be 0)
+	Committed      int     // trials in which the decided outcome was commit
+	Aborted        int     // trials in which the decided outcome was abort
+	Undecided      int     // trials in which no operational site decided
+	BlockedFrac    float64 // Blocked / Trials
+	MeanDone       Time    // mean completion time over decided trials
+	TotalMessages  int
+	MeanMessages   float64
+	MaxMessagesOne int
+}
+
+// CoordinatorCrashSweep runs `trials` transactions, each with the
+// coordinator (site 1) crashing at a time drawn uniformly from [0, window],
+// and reports how often the operational sites blocked. This is the paper's
+// central claim made quantitative: under 2PC the fraction is positive and
+// substantial; under 3PC it is exactly zero.
+func CoordinatorCrashSweep(proto Protocol, n, trials int, seed int64, window Time) BlockingStats {
+	rng := rand.New(rand.NewSource(seed))
+	var out BlockingStats
+	out.Trials = trials
+	var doneSum Time
+	doneCount := 0
+	for i := 0; i < trials; i++ {
+		crashAt := Time(rng.Int63n(int64(window) + 1))
+		res := RunTransaction(Config{
+			N:            n,
+			Protocol:     proto,
+			Seed:         rng.Int63(),
+			VoteDelayMin: 200 * Microsecond,
+			VoteDelayMax: 1 * Millisecond,
+			CrashAt:      map[int]Time{1: crashAt},
+		})
+		out.merge(res, &doneSum, &doneCount)
+	}
+	out.finish(doneSum, doneCount)
+	return out
+}
+
+// RandomCrashSweep crashes k distinct random sites at times drawn uniformly
+// from [0, window] in each trial; used for the availability experiment
+// ("operational sites continue transaction processing even though site
+// failures have occurred").
+func RandomCrashSweep(proto Protocol, n, k, trials int, seed int64, window Time) BlockingStats {
+	rng := rand.New(rand.NewSource(seed))
+	var out BlockingStats
+	out.Trials = trials
+	var doneSum Time
+	doneCount := 0
+	for i := 0; i < trials; i++ {
+		crash := map[int]Time{}
+		perm := rng.Perm(n)
+		for j := 0; j < k && j < n; j++ {
+			crash[perm[j]+1] = Time(rng.Int63n(int64(window) + 1))
+		}
+		res := RunTransaction(Config{
+			N:            n,
+			Protocol:     proto,
+			Seed:         rng.Int63(),
+			VoteDelayMin: 200 * Microsecond,
+			VoteDelayMax: 1 * Millisecond,
+			CrashAt:      crash,
+		})
+		out.merge(res, &doneSum, &doneCount)
+	}
+	out.finish(doneSum, doneCount)
+	return out
+}
+
+func (s *BlockingStats) merge(res Result, doneSum *Time, doneCount *int) {
+	if res.Blocked {
+		s.Blocked++
+	}
+	if !res.Consistent {
+		s.Inconsistent++
+	}
+	switch {
+	case res.Committed:
+		s.Committed++
+	case res.Aborted:
+		s.Aborted++
+	default:
+		s.Undecided++
+	}
+	s.TotalMessages += res.Messages
+	if res.Messages > s.MaxMessagesOne {
+		s.MaxMessagesOne = res.Messages
+	}
+	if res.Done > 0 {
+		*doneSum += res.Done
+		*doneCount++
+	}
+}
+
+func (s *BlockingStats) finish(doneSum Time, doneCount int) {
+	if s.Trials > 0 {
+		s.BlockedFrac = float64(s.Blocked) / float64(s.Trials)
+		s.MeanMessages = float64(s.TotalMessages) / float64(s.Trials)
+	}
+	if doneCount > 0 {
+		s.MeanDone = doneSum / Time(doneCount)
+	}
+}
+
+// FailureFree runs one transaction with no crashes and all YES votes,
+// reporting its message count and completion time — the message-complexity
+// and latency experiments.
+func FailureFree(proto Protocol, n int, seed int64) Result {
+	return RunTransaction(Config{N: n, Protocol: proto, Seed: seed})
+}
+
+// MessageComplexity returns the failure-free message count for each n in
+// ns. Expected shapes: central 2PC ≈ 4(n-1) with the XACT round counted
+// (vote-req, vote, decision), central 3PC ≈ 6(n-1); decentralized 2PC
+// ≈ n(n-1), decentralized 3PC ≈ 2n(n-1) — the transaction distribution is
+// not counted in the decentralized model, per the paper.
+func MessageComplexity(proto Protocol, ns []int, seed int64) []int {
+	out := make([]int, len(ns))
+	for i, n := range ns {
+		out[i] = FailureFree(proto, n, seed+int64(i)).Messages
+	}
+	return out
+}
+
+// CommitLatency reports the mean failure-free completion time over trials.
+func CommitLatency(proto Protocol, n, trials int, seed int64) Time {
+	var sum Time
+	for i := 0; i < trials; i++ {
+		res := FailureFree(proto, n, seed+int64(i))
+		sum += res.Done
+	}
+	return sum / Time(trials)
+}

@@ -1,0 +1,82 @@
+package sim
+
+// Linear 2PC (extension beyond the paper's two paradigms): the sites form a
+// chain. The vote wave travels rightward (each site votes as the wave
+// arrives), the last site decides, and the decision travels back leftward.
+// Cheapest in messages — 2(n-1) per commit — and worst in latency — 2(n-1)
+// sequential delays. Implemented failure-free for the cost experiments
+// (T3/T4); its termination behavior is the ordinary blocking 2PC story.
+
+// startLinear begins the chain at site 1.
+func (st *site) startLinear() {
+	if st.crashed {
+		return
+	}
+	st.r.sim.After(st.voteDelay(), func() {
+		if st.crashed || st.final() {
+			return
+		}
+		if st.r.cfg.VoteNo[st.id] {
+			st.decide('a')
+			if st.r.cfg.N > 1 {
+				st.send(2, kAbort, 0)
+			}
+			return
+		}
+		st.voted = true
+		st.phase = 'w'
+		st.send(2, kXact, 0)
+	})
+}
+
+// onLinearXact handles the rightward vote wave at sites 2..n.
+func (st *site) onLinearXact() {
+	if st.phase != 'q' || st.voted {
+		return
+	}
+	st.voted = true
+	st.r.sim.After(st.voteDelay(), func() {
+		if st.crashed || st.final() {
+			return
+		}
+		if st.r.cfg.VoteNo[st.id] {
+			st.decide('a')
+			st.send(st.id-1, kAbort, 0)
+			if st.id < st.r.cfg.N {
+				st.send(st.id+1, kAbort, 0)
+			}
+			return
+		}
+		if st.id == st.r.cfg.N {
+			// The last site completes the wave and decides.
+			st.decide('c')
+			st.send(st.id-1, kCommit, 0)
+			return
+		}
+		st.phase = 'w'
+		st.send(st.id+1, kXact, 0)
+	})
+}
+
+// onLinearDecision propagates the decision wave leftward (commit) or in both
+// directions (abort sweeping through never-engaged sites).
+func (st *site) onLinearDecision(m Msg) {
+	if st.final() {
+		return
+	}
+	fromRight := m.From > st.id
+	if m.Kind == kCommit {
+		st.decide('c')
+		if st.id > 1 && fromRight {
+			st.send(st.id-1, kCommit, 0)
+		}
+		return
+	}
+	st.decide('a')
+	if fromRight && st.id > 1 {
+		st.send(st.id-1, kAbort, 0)
+	}
+	if !fromRight && st.id < st.r.cfg.N {
+		st.send(st.id+1, kAbort, 0)
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+// Quorum-based termination (the extension sketched by the paper's [SKEE81a]
+// reference, later published as Skeen's quorum-based commit protocol): when
+// failures or partitions are suspected, every site abandons the normal
+// central-site 3PC path and runs termination within its connectivity group.
+// The elected group backup gathers the group's states and may
+//
+//   - propagate an already-decided outcome,
+//   - COMMIT after synchronizing at least Vc sites into the buffer state p
+//     (at least one site must already hold p), or
+//   - ABORT after synchronizing at least Va sites into the
+//     prepare-to-abort state 'b',
+//
+// with Vc + Va > N guaranteeing that no two groups decide differently. A
+// group that can reach neither quorum blocks — the price of safety under
+// partitions, which plain 3PC cannot offer (see the A3 experiment).
+const (
+	kQGather  = "Q-GATHER"  // backup: report your state
+	kQState   = "Q-STATE"   // reply: state letter
+	kQBlocked = "Q-BLOCKED" // backup: the group lacks a quorum
+)
+
+// startQuorumTermination elects the group backup (lowest reachable site)
+// and, at the backup, begins the gather round.
+func (st *site) startQuorumTermination() {
+	if st.final() || st.crashed {
+		return
+	}
+	st.terminating = true
+	backup, ok := st.electQuorumBackup()
+	if !ok {
+		return
+	}
+	if backup != st.id {
+		st.send(backup, kNudge, 0)
+		return
+	}
+	st.qStates = map[int]byte{st.id: st.phase}
+	st.termAcks = nil
+	st.qTarget = 0
+	st.broadcast(st.aliveOthers(), kQGather, 0)
+	st.evaluateQuorum()
+}
+
+// electQuorumBackup picks the lowest-numbered reachable site (self
+// included); unlike the central-site termination there is no coordinator
+// exclusion — the coordinator participates in its group's quorum.
+func (st *site) electQuorumBackup() (int, bool) {
+	for i := 1; i <= st.r.cfg.N; i++ {
+		if i == st.id || st.r.net.Reachable(st.id, i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// onQGather reports the local state to the group backup.
+func (st *site) onQGather(m Msg) {
+	st.terminating = true
+	st.send(m.From, kQState, st.phase)
+}
+
+// onQState folds a group member's state into the backup's tally.
+func (st *site) onQState(m Msg) {
+	if st.qStates == nil || st.final() {
+		return
+	}
+	st.qStates[m.From] = m.Body
+	st.evaluateQuorum()
+}
+
+// evaluateQuorum applies the quorum decision rule once the whole group has
+// reported.
+func (st *site) evaluateQuorum() {
+	if st.final() || st.qStates == nil || st.qTarget != 0 {
+		return
+	}
+	group := st.aliveOthers()
+	for _, id := range group {
+		if _, ok := st.qStates[id]; !ok {
+			return // gather still in progress
+		}
+	}
+	st.qStates[st.id] = st.phase
+
+	counts := map[byte]int{}
+	groupWeight := 0
+	for id, state := range st.qStates {
+		counts[state]++
+		groupWeight += st.weight(id)
+	}
+	switch {
+	case counts['c'] > 0:
+		st.decide('c')
+		st.broadcast(group, kCommit, 0)
+	case counts['a'] > 0:
+		st.decide('a')
+		st.broadcast(group, kAbort, 0)
+	case groupWeight >= st.quorum() && counts['p'] > 0:
+		// Commit path: synchronize the group into p, then commit once a
+		// commit quorum (by weight) has acknowledged.
+		st.beginQuorumSync('p', group)
+	case groupWeight >= st.quorum():
+		// Abort path: synchronize into prepare-to-abort, then abort.
+		st.beginQuorumSync('b', group)
+	default:
+		// Minority group: neither quorum is reachable. Block — plain 3PC
+		// would guess here and lose atomicity.
+		st.blocked = true
+		st.broadcast(group, kQBlocked, 0)
+	}
+}
+
+// beginQuorumSync runs phase 1 of the backup protocol toward the target
+// state, counting acknowledgements against the quorum.
+func (st *site) beginQuorumSync(target byte, group []int) {
+	st.qTarget = target
+	st.termAcks = map[int]bool{st.id: true}
+	st.adoptQuorumState(target)
+	st.broadcast(group, kTermState, target)
+	st.maybeQuorumPhase2()
+}
+
+// adoptQuorumState applies a synchronization target locally.
+func (st *site) adoptQuorumState(target byte) {
+	switch {
+	case target == 'p' && (st.phase == 'w' || st.phase == 'b'):
+		st.phase = 'p'
+	case target == 'b' && (st.phase == 'w' || st.phase == 'p' || st.phase == 'q'):
+		st.phase = 'b'
+	}
+}
+
+// maybeQuorumPhase2 issues the decision once quorum-many sites acknowledged
+// the synchronization.
+func (st *site) maybeQuorumPhase2() {
+	if st.final() || st.qTarget == 0 || st.termAcks == nil {
+		return
+	}
+	ackWeight := 0
+	for id := range st.termAcks {
+		ackWeight += st.weight(id)
+	}
+	if ackWeight < st.quorum() {
+		return
+	}
+	group := st.aliveOthers()
+	if st.qTarget == 'p' {
+		st.decide('c')
+		st.broadcast(group, kCommit, 0)
+	} else {
+		st.decide('a')
+		st.broadcast(group, kAbort, 0)
+	}
+}

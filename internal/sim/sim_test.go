@@ -1,0 +1,518 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.At(10, func() { order = append(order, 11) }) // same time: FIFO
+	s.Run(0)
+	if len(order) != 4 || order[0] != 1 || order[1] != 11 || order[2] != 2 || order[3] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+}
+
+func TestAfterAndRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(100, func() {
+		fired++
+		s.After(100, func() { fired++ })
+	})
+	s.RunUntil(150)
+	if fired != 1 {
+		t.Fatalf("fired = %d at t=150", fired)
+	}
+	if s.Now() != 150 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+	s.RunUntil(300)
+	if fired != 2 {
+		t.Fatalf("fired = %d at t=300", fired)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		s.At(50, func() {
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %d", s.Now())
+			}
+		})
+	})
+	s.Run(0)
+}
+
+func TestRunStepLimit(t *testing.T) {
+	s := New(1)
+	count := 0
+	var loop func()
+	loop = func() { count++; s.After(1, loop) }
+	s.After(1, loop)
+	if steps := s.Run(10); steps != 10 || count != 10 {
+		t.Fatalf("steps=%d count=%d", steps, count)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New(42)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+	}
+	if s.Uniform(5, 5) != 5 {
+		t.Fatal("degenerate range")
+	}
+}
+
+func TestNetDeliveryAndCounters(t *testing.T) {
+	s := New(7)
+	n := NewNet(s, 10, 10, 5)
+	var got []Msg
+	n.Handle(2, func(m Msg) { got = append(got, m) })
+	n.Send(Msg{From: 1, To: 2, Kind: "X"})
+	s.Run(0)
+	if len(got) != 1 || got[0].Kind != "X" {
+		t.Fatalf("got %v", got)
+	}
+	if n.Sent != 1 || n.ByKind["X"] != 1 {
+		t.Fatalf("counters: %d %v", n.Sent, n.ByKind)
+	}
+}
+
+func TestNetCrashStopsDeliveryAndNotifies(t *testing.T) {
+	s := New(7)
+	n := NewNet(s, 10, 10, 5)
+	delivered := false
+	n.Handle(2, func(Msg) { delivered = true })
+	n.Handle(1, func(Msg) {})
+	notified := []int{}
+	n.WatchSuspicions(func(observer, suspect int) {
+		if observer == 1 {
+			notified = append(notified, suspect)
+		}
+	})
+
+	n.Send(Msg{From: 1, To: 2, Kind: "X"}) // in flight at crash time
+	s.At(5, func() { n.Crash(2) })
+	s.Run(0)
+	if delivered {
+		t.Fatal("message delivered to crashed site")
+	}
+	if len(notified) != 1 || notified[0] != 2 {
+		t.Fatalf("notifications: %v", notified)
+	}
+	if n.Alive(2) || !n.Alive(1) {
+		t.Fatal("alive state wrong")
+	}
+	// Crashed senders transmit nothing.
+	before := n.Sent
+	n.Send(Msg{From: 2, To: 1, Kind: "X"})
+	if n.Sent != before {
+		t.Fatal("crashed site sent a message")
+	}
+}
+
+func TestFailureFreeCommitAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{Central2PC, Central3PC, Decentral2PC, Decentral3PC} {
+		for _, n := range []int{2, 3, 5, 9} {
+			res := FailureFree(proto, n, 42)
+			if !res.Committed || res.Aborted {
+				t.Errorf("%s n=%d: committed=%v aborted=%v", proto, n, res.Committed, res.Aborted)
+			}
+			if !res.Consistent || res.Blocked {
+				t.Errorf("%s n=%d: consistent=%v blocked=%v", proto, n, res.Consistent, res.Blocked)
+			}
+			if res.Done == 0 {
+				t.Errorf("%s n=%d: not all sites decided", proto, n)
+			}
+			for id, so := range res.Sites {
+				if so.Phase != 'c' {
+					t.Errorf("%s n=%d site %d phase %c", proto, n, id, so.Phase)
+				}
+			}
+		}
+	}
+}
+
+func TestUnilateralAbortAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{Central2PC, Central3PC, Decentral2PC, Decentral3PC} {
+		res := RunTransaction(Config{
+			N: 4, Protocol: proto, Seed: 9,
+			VoteNo: map[int]bool{3: true},
+		})
+		if !res.Aborted || res.Committed || !res.Consistent {
+			t.Errorf("%s: aborted=%v committed=%v consistent=%v",
+				proto, res.Aborted, res.Committed, res.Consistent)
+		}
+	}
+}
+
+func TestMessageComplexityShape(t *testing.T) {
+	// Failure-free message counts: central protocols linear in n,
+	// decentralized quadratic; 3PC strictly more than 2PC.
+	c2 := FailureFree(Central2PC, 9, 1).Messages
+	c3 := FailureFree(Central3PC, 9, 1).Messages
+	d2 := FailureFree(Decentral2PC, 9, 1).Messages
+	d3 := FailureFree(Decentral3PC, 9, 1).Messages
+	n := 9
+	if c2 != 3*(n-1) {
+		t.Errorf("central 2PC messages = %d, want %d", c2, 3*(n-1))
+	}
+	if c3 != 5*(n-1) {
+		t.Errorf("central 3PC messages = %d, want %d", c3, 5*(n-1))
+	}
+	if d2 != n*(n-1) {
+		t.Errorf("decentralized 2PC messages = %d, want %d", d2, n*(n-1))
+	}
+	if d3 != 2*n*(n-1) {
+		t.Errorf("decentralized 3PC messages = %d, want %d", d3, 2*n*(n-1))
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	// 3PC pays roughly two extra message delays over 2PC; decentralized
+	// variants finish in fewer rounds than their central counterparts.
+	l2 := CommitLatency(Central2PC, 5, 20, 3)
+	l3 := CommitLatency(Central3PC, 5, 20, 3)
+	d2 := CommitLatency(Decentral2PC, 5, 20, 3)
+	d3 := CommitLatency(Decentral3PC, 5, 20, 3)
+	if l3 <= l2 {
+		t.Errorf("central 3PC latency %d should exceed 2PC %d", l3, l2)
+	}
+	if d3 <= d2 {
+		t.Errorf("decentralized 3PC latency %d should exceed 2PC %d", d3, d2)
+	}
+	if d2 >= l2 {
+		t.Errorf("decentralized 2PC (%d) should beat central 2PC (%d): fewer sequential hops", d2, l2)
+	}
+}
+
+// TestTwoPCBlocksUnderCoordinatorCrash: crash the coordinator in the
+// uncertainty window; every operational site blocks.
+func TestTwoPCBlocksUnderCoordinatorCrash(t *testing.T) {
+	// With fixed 1ms latency: participants vote at 1ms (arriving at 2ms);
+	// crashing the coordinator at 1.5ms leaves both participants in w with
+	// no decision anywhere.
+	res := RunTransaction(Config{
+		N: 3, Protocol: Central2PC, Seed: 5,
+		LatencyMin: Millisecond, LatencyMax: Millisecond,
+		CrashAt: map[int]Time{1: Millisecond + 500*Microsecond},
+	})
+	if !res.Blocked {
+		t.Fatalf("expected blocking, got %+v", res)
+	}
+	if !res.Consistent {
+		t.Fatal("blocking must still be consistent")
+	}
+}
+
+// TestThreePCNeverBlocks sweeps the coordinator crash time over the whole
+// protocol window: 3PC terminates every time.
+func TestThreePCNeverBlocks(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		stats := CoordinatorCrashSweep(Central3PC, n, 400, 11, 20*Millisecond)
+		if stats.Blocked != 0 {
+			t.Errorf("n=%d: 3PC blocked in %d/%d trials", n, stats.Blocked, stats.Trials)
+		}
+		if stats.Inconsistent != 0 {
+			t.Errorf("n=%d: %d inconsistent trials", n, stats.Inconsistent)
+		}
+		if stats.Undecided != 0 {
+			t.Errorf("n=%d: %d undecided trials", n, stats.Undecided)
+		}
+	}
+}
+
+// TestTwoPCBlocksSometimes: the same sweep under 2PC has a nonzero blocked
+// fraction (the uncertainty window is real) and never an inconsistency.
+func TestTwoPCBlocksSometimes(t *testing.T) {
+	stats := CoordinatorCrashSweep(Central2PC, 3, 400, 11, 20*Millisecond)
+	if stats.Blocked == 0 {
+		t.Fatal("2PC never blocked across the sweep; the window should be hit")
+	}
+	if stats.Inconsistent != 0 {
+		t.Fatalf("%d inconsistent trials", stats.Inconsistent)
+	}
+}
+
+// TestDecentralizedSweeps: the decentralized 2PC also blocks (a site that
+// crashes during its pre-vote work leaves every survivor uncertain);
+// decentralized 3PC does not.
+func TestDecentralizedSweeps(t *testing.T) {
+	blocked2 := RandomCrashSweep(Decentral2PC, 4, 1, 400, 23, 2*Millisecond)
+	if blocked2.Blocked == 0 {
+		t.Error("decentralized 2PC never blocked")
+	}
+	if blocked2.Inconsistent != 0 {
+		t.Errorf("decentralized 2PC: %d inconsistent", blocked2.Inconsistent)
+	}
+	blocked3 := RandomCrashSweep(Decentral3PC, 4, 1, 400, 23, 2*Millisecond)
+	if blocked3.Blocked != 0 {
+		t.Errorf("decentralized 3PC blocked in %d trials", blocked3.Blocked)
+	}
+	if blocked3.Inconsistent != 0 {
+		t.Errorf("decentralized 3PC: %d inconsistent", blocked3.Inconsistent)
+	}
+	if blocked3.Undecided != 0 {
+		t.Errorf("decentralized 3PC: %d undecided", blocked3.Undecided)
+	}
+}
+
+// TestMultipleFailures3PC: 3PC stays live and consistent with up to n-1
+// crashes ("as long as one site remains operational").
+func TestMultipleFailures3PC(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		stats := RandomCrashSweep(Central3PC, 4, k, 300, 31, 15*Millisecond)
+		if stats.Inconsistent != 0 {
+			t.Errorf("k=%d: %d inconsistent", k, stats.Inconsistent)
+		}
+		if stats.Blocked != 0 {
+			t.Errorf("k=%d: %d blocked", k, stats.Blocked)
+		}
+		if stats.Undecided != 0 {
+			t.Errorf("k=%d: %d undecided", k, stats.Undecided)
+		}
+	}
+}
+
+// TestBackupPhase1Ablation: skipping phase 1 of the backup protocol breaks
+// safety — "Phase 1 ... is required because the backup coordinator may
+// fail" (slide 39). Deterministic schedule (fixed 1ms latency, 2ms message
+// stagger, 5ms crash detection):
+//
+//	t=0     coordinator sends XACT to 2/3/4 at 0/2/4ms; votes return
+//	t=6ms   coordinator enters p, sends PREPARE to 2 (6ms) and 3 (8ms)
+//	t=9ms   coordinator crashes before PREPARE reaches 4 → 4 stays in w
+//	t=14ms  crash detected; backup = site 2, in p
+//	        - without phase 1: 2 commits, sends COMMIT to 3 (14ms), crashes
+//	          at 15ms before sending to 4; 3 commits at 15ms, crashes at
+//	          15.5ms; survivor 4 (in w) elects itself and ABORTS at ~20ms —
+//	          mixed with the durable commits at 2 and 3: INCONSISTENT.
+//	        - with phase 1: 2 first synchronizes 4 to p; it crashes before
+//	          any COMMIT exists, so no site commits and 4's abort is
+//	          consistent.
+func TestBackupPhase1Ablation(t *testing.T) {
+	cfg := Config{
+		N: 4, Protocol: Central3PC, Seed: 7,
+		LatencyMin: Millisecond, LatencyMax: Millisecond,
+		Stagger: 2 * Millisecond,
+		CrashAt: map[int]Time{
+			1: 9 * Millisecond,
+			2: 15 * Millisecond,
+			3: 15*Millisecond + 500*Microsecond,
+		},
+	}
+	withPhase1 := RunTransaction(cfg)
+	if !withPhase1.Consistent {
+		t.Fatalf("phase 1 enabled but inconsistent: %+v", withPhase1.Sites)
+	}
+	if withPhase1.Sites[4].Crashed || withPhase1.Sites[4].DecidedAt == 0 {
+		t.Fatalf("survivor did not terminate with phase 1: %+v", withPhase1.Sites[4])
+	}
+
+	cfg.SkipBackupPhase1 = true
+	without := RunTransaction(cfg)
+	if without.Consistent {
+		t.Fatalf("ablation stayed consistent; schedule missed the window: %+v", without.Sites)
+	}
+	if !without.Committed || !without.Aborted {
+		t.Fatalf("expected mixed outcomes, got %+v", without.Sites)
+	}
+}
+
+// TestQuickConsistency is the property test: under arbitrary crash
+// schedules and vote patterns, no protocol ever produces mixed outcomes.
+func TestQuickConsistency(t *testing.T) {
+	f := func(seed int64, crashRaw []uint16, votes uint8, protoRaw uint8, nRaw uint8) bool {
+		n := 2 + int(nRaw%6)
+		proto := Protocol(protoRaw % 4)
+		crash := map[int]Time{}
+		for i, c := range crashRaw {
+			if i >= n-1 { // always leave site n alive
+				break
+			}
+			crash[i+1] = Time(c) * 50 * Microsecond
+		}
+		voteNo := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if votes&(1<<uint(i%8)) != 0 && i%2 == 0 {
+				voteNo[i+1] = true
+			}
+		}
+		res := RunTransaction(Config{
+			N: n, Protocol: proto, Seed: seed,
+			CrashAt: crash, VoteNo: voteNo,
+		})
+		return res.Consistent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearTwoPC: the chained extension commits failure-free with exactly
+// 2(n-1) messages and ~2(n-1) sequential delays, aborts atomically on a NO
+// anywhere in the chain, and is the latency-worst/message-best point in the
+// design space.
+func TestLinearTwoPC(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		res := FailureFree(Linear2PC, n, 4)
+		if !res.Committed || !res.Consistent || res.Done == 0 {
+			t.Fatalf("n=%d: %+v", n, res)
+		}
+		if want := 2 * (n - 1); res.Messages != want {
+			t.Errorf("n=%d messages = %d, want %d", n, res.Messages, want)
+		}
+	}
+	// Abort in the middle of the chain reaches everyone.
+	res := RunTransaction(Config{N: 5, Protocol: Linear2PC, Seed: 4, VoteNo: map[int]bool{3: true}})
+	if !res.Aborted || res.Committed || !res.Consistent || res.Done == 0 {
+		t.Fatalf("abort run: %+v", res)
+	}
+	// Latency: linear costs more sequential delays than central 2PC.
+	linear := CommitLatency(Linear2PC, 7, 30, 5)
+	central := CommitLatency(Central2PC, 7, 30, 5)
+	if linear <= central {
+		t.Errorf("linear latency %d should exceed central %d", linear, central)
+	}
+	// Messages: linear costs fewer than central.
+	if l, c := FailureFree(Linear2PC, 7, 5).Messages, FailureFree(Central2PC, 7, 5).Messages; l >= c {
+		t.Errorf("linear messages %d should undercut central %d", l, c)
+	}
+}
+
+// TestRepairUnblocks2PC: the coordinator crashes inside the uncertainty
+// window; the participants block for exactly the repair time — recovery
+// re-broadcasts the (logged or default-abort) decision and releases them.
+func TestRepairUnblocks2PC(t *testing.T) {
+	res := RunTransaction(Config{
+		N: 3, Protocol: Central2PC, Seed: 5,
+		LatencyMin: Millisecond, LatencyMax: Millisecond,
+		CrashAt:  map[int]Time{1: Millisecond + 500*Microsecond},
+		RepairAt: map[int]Time{1: 60 * Millisecond},
+	})
+	if !res.Consistent {
+		t.Fatalf("inconsistent: %+v", res.Sites)
+	}
+	if res.Blocked {
+		t.Fatalf("still blocked after repair: %+v", res.Sites)
+	}
+	if !res.Aborted || res.Committed {
+		t.Fatalf("recovered coordinator must abort an undecided txn: %+v", res.Sites)
+	}
+	// The survivors were released only after the repair.
+	for _, id := range []int{2, 3} {
+		if d := res.Sites[id].DecidedAt; d < 60*Millisecond {
+			t.Errorf("site %d decided at %d, before the repair", id, d)
+		}
+	}
+}
+
+// TestRepairedCoordinatorRebroadcastsCommit: the coordinator logged COMMIT
+// but crashed before any decision message left; repair re-broadcasts it.
+func TestRepairedCoordinatorRebroadcastsCommit(t *testing.T) {
+	// Fixed 1ms latency, 2ms stagger, n=3: XACT reaches 2 at 1ms and 3 at
+	// 3ms; the votes land at 2ms and 4ms; the coordinator decides COMMIT at
+	// 4ms and sends it to 2 at 4ms (in flight, survives) and to 3 at 6ms.
+	// Crashing at 5ms loses the second COMMIT; the repair re-broadcasts it.
+	res := RunTransaction(Config{
+		N: 3, Protocol: Central2PC, Seed: 5,
+		LatencyMin: Millisecond, LatencyMax: Millisecond,
+		Stagger:  2 * Millisecond,
+		CrashAt:  map[int]Time{1: 5 * Millisecond},
+		RepairAt: map[int]Time{1: 50 * Millisecond},
+	})
+	if !res.Consistent {
+		t.Fatalf("inconsistent: %+v", res.Sites)
+	}
+	if !res.Committed || res.Aborted {
+		t.Fatalf("want commit everywhere: %+v", res.Sites)
+	}
+	for id, so := range res.Sites {
+		if so.Phase != 'c' {
+			t.Errorf("site %d phase %c", id, so.Phase)
+		}
+	}
+}
+
+// TestRepairedParticipantLearnsOutcome: a participant crashes after voting,
+// the cohort commits without it (3PC waives its ack), and on repair it asks
+// the cohort and adopts the commit.
+func TestRepairedParticipantLearnsOutcome(t *testing.T) {
+	res := RunTransaction(Config{
+		N: 3, Protocol: Central3PC, Seed: 5,
+		LatencyMin: Millisecond, LatencyMax: Millisecond,
+		CrashAt:  map[int]Time{3: 2*Millisecond + 500*Microsecond}, // voted, not yet prepared
+		RepairAt: map[int]Time{3: 40 * Millisecond},
+	})
+	if !res.Consistent {
+		t.Fatalf("inconsistent: %+v", res.Sites)
+	}
+	if !res.Committed {
+		t.Fatalf("cohort should commit: %+v", res.Sites)
+	}
+	if res.Sites[3].Phase != 'c' {
+		t.Fatalf("repaired participant phase %c, want c", res.Sites[3].Phase)
+	}
+	if res.Sites[3].DecidedAt < 40*Millisecond {
+		t.Fatalf("participant decided before its repair: %+v", res.Sites[3])
+	}
+}
+
+// TestBlockedTimeTracksMTTR: the quantitative story — under 2PC the
+// survivors' termination time grows linearly with the coordinator's MTTR;
+// under 3PC it is constant (detection + termination protocol).
+func TestBlockedTimeTracksMTTR(t *testing.T) {
+	// Measure when the last SURVIVOR decided (the repaired coordinator's
+	// own late decision is recovery, not blocking).
+	done := func(proto Protocol, mttr Time) Time {
+		res := RunTransaction(Config{
+			N: 3, Protocol: proto, Seed: 5,
+			LatencyMin: Millisecond, LatencyMax: Millisecond,
+			CrashAt:  map[int]Time{1: Millisecond + 500*Microsecond},
+			RepairAt: map[int]Time{1: Millisecond + 500*Microsecond + mttr},
+		})
+		if !res.Consistent {
+			t.Fatalf("%s mttr=%d inconsistent", proto, mttr)
+		}
+		var last Time
+		for id, so := range res.Sites {
+			if id == 1 {
+				continue
+			}
+			if so.DecidedAt == 0 {
+				t.Fatalf("%s mttr=%d: survivor %d undecided", proto, mttr, id)
+			}
+			if so.DecidedAt > last {
+				last = so.DecidedAt
+			}
+		}
+		return last
+	}
+	d20 := done(Central2PC, 20*Millisecond)
+	d80 := done(Central2PC, 80*Millisecond)
+	if d80-d20 < 50*Millisecond {
+		t.Errorf("2PC termination should track MTTR: done(20ms)=%d done(80ms)=%d", d20, d80)
+	}
+	t20 := done(Central3PC, 20*Millisecond)
+	t80 := done(Central3PC, 80*Millisecond)
+	if diff := t80 - t20; diff > 5*Millisecond && diff < -5*Millisecond {
+		t.Errorf("3PC termination should not track MTTR: %d vs %d", t20, t80)
+	}
+	if t80 > d20 {
+		t.Errorf("3PC (%d) should terminate before even the shortest 2PC repair (%d)", t80, d20)
+	}
+}

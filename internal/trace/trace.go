@@ -1,0 +1,92 @@
+// Package trace records structured protocol events for debugging and for
+// tests that assert exact message sequences.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   time.Time
+	Site int
+	Kind string
+	TxID string
+	Note string
+}
+
+// String renders "site 2: PREPARE tx=t1 (moved w->p)".
+func (e Event) String() string {
+	s := fmt.Sprintf("site %d: %s", e.Site, e.Kind)
+	if e.TxID != "" {
+		s += " tx=" + e.TxID
+	}
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}
+
+// Recorder accumulates events; safe for concurrent use. The zero value is
+// ready to use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event with the current wall time.
+func (r *Recorder) Add(site int, kind, txid, note string) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{At: time.Now(), Site: site, Kind: kind, TxID: txid, Note: note})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far, in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Kinds returns the sequence of event kinds, convenient for assertions.
+func (r *Recorder) Kinds() []string {
+	evs := r.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// Filter returns the events matching the predicate.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// Dump renders every event, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

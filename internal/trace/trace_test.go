@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	r.Add(1, "VOTE-REQ", "t1", "")
+	r.Add(2, "YES", "t1", "voted")
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != "VOTE-REQ" || evs[1].Note != "voted" {
+		t.Fatalf("events = %v", evs)
+	}
+	kinds := r.Kinds()
+	if len(kinds) != 2 || kinds[0] != "VOTE-REQ" || kinds[1] != "YES" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Site: 2, Kind: "PREPARE", TxID: "t1", Note: "moved w->p"}
+	if got := e.String(); got != "site 2: PREPARE tx=t1 (moved w->p)" {
+		t.Fatalf("String = %q", got)
+	}
+	bare := Event{Site: 1, Kind: "HB"}
+	if got := bare.String(); got != "site 1: HB" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFilterAndReset(t *testing.T) {
+	var r Recorder
+	r.Add(1, "A", "t1", "")
+	r.Add(2, "B", "t1", "")
+	r.Add(1, "C", "t2", "")
+	only1 := r.Filter(func(e Event) bool { return e.Site == 1 })
+	if len(only1) != 2 {
+		t.Fatalf("filtered = %v", only1)
+	}
+	if !strings.Contains(r.Dump(), "site 2: B tx=t1") {
+		t.Fatalf("dump = %q", r.Dump())
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(site, "E", "t", "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Events()) != 800 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint attaches a site to a real network: it listens for inbound
+// connections from peers and dials peers on demand, encoding messages with
+// encoding/gob. Connections are cached per destination and re-dialled on
+// failure; delivery to an unreachable peer is silently dropped, matching the
+// crash-stop semantics of the in-memory Network.
+type TCPEndpoint struct {
+	id    int
+	ln    net.Listener
+	inbox chan Message
+
+	mu      sync.Mutex
+	peers   map[int]string // site ID -> address
+	conns   map[int]*gob.Encoder
+	raw     map[int]net.Conn
+	inbound map[net.Conn]bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// ListenTCP starts a TCP endpoint for site id on addr (e.g. "127.0.0.1:0").
+// peers maps every other site ID to its address; entries may be added later
+// with AddPeer.
+func ListenTCP(id int, addr string, peers map[int]string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		id:      id,
+		ln:      ln,
+		inbox:   make(chan Message, inboxSize),
+		peers:   map[int]string{},
+		conns:   map[int]*gob.Encoder{},
+		raw:     map[int]net.Conn{},
+		inbound: map[net.Conn]bool{},
+	}
+	for p, a := range peers {
+		e.peers[p] = a
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's listening address, useful when listening on
+// port 0.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// AddPeer registers or updates the address of a peer site.
+func (e *TCPEndpoint) AddPeer(id int, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[id] = addr
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() int { return e.id }
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() <-chan Message { return e.inbox }
+
+// Send implements Endpoint. Failure to reach the peer drops the message (the
+// cached connection is discarded so a later send re-dials).
+func (e *TCPEndpoint) Send(m Message) error {
+	m.From = e.id
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	enc, ok := e.conns[m.To]
+	if !ok {
+		addr, known := e.peers[m.To]
+		if !known {
+			return fmt.Errorf("transport: no address for site %d", m.To)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil // peer down: message lost, crash-stop semantics
+		}
+		enc = gob.NewEncoder(conn)
+		e.conns[m.To] = enc
+		e.raw[m.To] = conn
+	}
+	if err := enc.Encode(m); err != nil {
+		if c := e.raw[m.To]; c != nil {
+			c.Close()
+		}
+		delete(e.conns, m.To)
+		delete(e.raw, m.To)
+		return nil // connection broke: message lost
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, c := range e.raw {
+		c.Close()
+	}
+	for c := range e.inbound {
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.ln.Close()
+	e.wg.Wait()
+	close(e.inbox)
+	return nil
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.inbound[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case e.inbox <- m:
+		default:
+			// Inbox overflow: drop, as the in-memory transport does.
+		}
+	}
+}

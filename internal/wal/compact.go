@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// Compact rewrites a file log, dropping every record of transactions whose
+// replayed status is StatusEnded (fully applied and garbage-collected by the
+// engine via Forget). Recovery time is proportional to log length, so
+// long-running sites should compact periodically.
+//
+// The rewrite is crash-safe: records are written to path+".compact", synced,
+// and atomically renamed over the original. The log must be closed; reopen
+// it after compaction.
+func Compact(path string) (kept, dropped int, err error) {
+	l, err := OpenFileLog(path, FileLogOptions{NoSync: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	recs, err := l.Records()
+	if err != nil {
+		l.Close()
+		return 0, 0, err
+	}
+	l.Close()
+
+	ended := map[string]bool{}
+	for tx, img := range Replay(recs) {
+		if img.Status == StatusEnded {
+			ended[tx] = true
+		}
+	}
+
+	tmpPath := path + ".compact"
+	os.Remove(tmpPath)
+	out, err := OpenFileLog(tmpPath, FileLogOptions{NoSync: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range recs {
+		if ended[r.TxID] {
+			dropped++
+			continue
+		}
+		if _, err := out.Append(Record{Type: r.Type, TxID: r.TxID, Payload: r.Payload}); err != nil {
+			out.Close()
+			os.Remove(tmpPath)
+			return 0, 0, fmt.Errorf("wal: compact rewrite: %w", err)
+		}
+		kept++
+	}
+	if err := out.f.Sync(); err != nil {
+		out.Close()
+		os.Remove(tmpPath)
+		return 0, 0, fmt.Errorf("wal: compact sync: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, 0, err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return 0, 0, fmt.Errorf("wal: compact rename: %w", err)
+	}
+	return kept, dropped, nil
+}

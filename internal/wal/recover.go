@@ -1,0 +1,115 @@
+package wal
+
+import "fmt"
+
+// TxStatus is the commit-protocol position of a transaction as reconstructed
+// from the log during recovery.
+type TxStatus int
+
+const (
+	// StatusUnknown: no record seen (not a valid replay result).
+	StatusUnknown TxStatus = iota
+	// StatusBegun: a coordinator started the protocol but recorded no
+	// outcome; upon recovery it aborts (the failure happened before its
+	// commit point).
+	StatusBegun
+	// StatusVotedYes: the participant voted yes and crashed before learning
+	// the outcome; it is in doubt and must run the recovery protocol.
+	StatusVotedYes
+	// StatusVotedNo: the participant voted no; the transaction aborted.
+	StatusVotedNo
+	// StatusPrepared: the participant reached the buffer state p; still in
+	// doubt, but any operational 3PC cohort can resolve it.
+	StatusPrepared
+	// StatusCommitted: the commit record was forced; redo and finish.
+	StatusCommitted
+	// StatusAborted: the abort record was forced; undo and finish.
+	StatusAborted
+	// StatusEnded: fully applied; nothing to do.
+	StatusEnded
+)
+
+// String names the status.
+func (s TxStatus) String() string {
+	switch s {
+	case StatusBegun:
+		return "begun"
+	case StatusVotedYes:
+		return "voted-yes"
+	case StatusVotedNo:
+		return "voted-no"
+	case StatusPrepared:
+		return "prepared"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	case StatusEnded:
+		return "ended"
+	default:
+		return fmt.Sprintf("TxStatus(%d)", int(s))
+	}
+}
+
+// InDoubt reports whether a recovering site cannot decide the transaction
+// from its own log and must consult operational sites.
+func (s TxStatus) InDoubt() bool { return s == StatusVotedYes || s == StatusPrepared }
+
+// Final reports whether the outcome is already durable locally.
+func (s TxStatus) Final() bool {
+	return s == StatusCommitted || s == StatusAborted || s == StatusEnded
+}
+
+// TxImage is the replayed per-transaction state.
+type TxImage struct {
+	TxID   string
+	Status TxStatus
+	// Begin holds the payload of the begin record (e.g. the participant
+	// list), if one was logged at this site.
+	Begin []byte
+	// Last holds the payload of the most recent record.
+	Last []byte
+	// LastLSN is the LSN of the most recent record for the transaction.
+	LastLSN uint64
+	// Coordinator reports whether this site logged the begin record (i.e.
+	// acted as the transaction's coordinator).
+	Coordinator bool
+}
+
+// Replay folds a log's records into per-transaction images, implementing the
+// local half of the recovery protocol: after Replay, transactions whose
+// status is InDoubt must be resolved by asking operational sites; Begun
+// coordinators abort; Final transactions need only local redo/undo.
+func Replay(recs []Record) map[string]*TxImage {
+	out := map[string]*TxImage{}
+	for _, r := range recs {
+		img, ok := out[r.TxID]
+		if !ok {
+			img = &TxImage{TxID: r.TxID}
+			out[r.TxID] = img
+		}
+		img.Last = r.Payload
+		img.LastLSN = r.LSN
+		switch r.Type {
+		case RecBegin:
+			img.Coordinator = true
+			img.Begin = r.Payload
+			if img.Status == StatusUnknown {
+				img.Status = StatusBegun
+			}
+		case RecVoteYes:
+			img.Status = StatusVotedYes
+		case RecVoteNo:
+			img.Status = StatusVotedNo
+		case RecPrepared:
+			img.Status = StatusPrepared
+		case RecCommitted:
+			img.Status = StatusCommitted
+		case RecAborted:
+			img.Status = StatusAborted
+		case RecEnd:
+			img.Status = StatusEnded
+		}
+	}
+	return out
+}

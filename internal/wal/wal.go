@@ -1,0 +1,320 @@
+// Package wal provides the stable storage substrate required by commit
+// protocols: an append-only write-ahead log of protocol state transitions.
+//
+// The paper assumes "each site has a local recovery strategy that provides
+// atomicity at the local level"; this package is that strategy. A site
+// forces a record describing each protocol state change before acting on
+// it, and on restart replays the log to rebuild the commit state of every
+// transaction (the recovery protocol then resolves any transaction left
+// in doubt).
+//
+// Two implementations are provided: a MemoryLog for tests and simulations,
+// and a FileLog with CRC-protected, length-prefixed records and optional
+// fsync for real deployments. Both tolerate a torn final record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// RecordType enumerates the protocol events a site persists.
+type RecordType uint8
+
+const (
+	// RecBegin marks a coordinator starting a distributed commit.
+	RecBegin RecordType = iota + 1
+	// RecVoteYes marks a participant voting yes: it must not unilaterally
+	// abort afterwards.
+	RecVoteYes
+	// RecVoteNo marks a participant voting no (unilateral abort).
+	RecVoteNo
+	// RecPrepared marks entry into the buffer state p (3PC only).
+	RecPrepared
+	// RecCommitted marks the irreversible commit decision.
+	RecCommitted
+	// RecAborted marks the irreversible abort decision.
+	RecAborted
+	// RecEnd marks that a transaction's effects have been applied and its
+	// protocol state may be garbage collected.
+	RecEnd
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "begin"
+	case RecVoteYes:
+		return "vote-yes"
+	case RecVoteNo:
+		return "vote-no"
+	case RecPrepared:
+		return "prepared"
+	case RecCommitted:
+		return "committed"
+	case RecAborted:
+		return "aborted"
+	case RecEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry. Payload is opaque to the log (the engine stores
+// participant lists; the kv store stages write sets).
+type Record struct {
+	LSN     uint64 // assigned by Append; 1-based
+	Type    RecordType
+	TxID    string
+	Payload []byte
+}
+
+// Log is an append-only record store surviving crashes of its owner.
+type Log interface {
+	// Append durably adds a record and returns its log sequence number.
+	Append(rec Record) (uint64, error)
+	// Records returns every record in append order.
+	Records() ([]Record, error)
+	// Close releases resources; the log may be reopened (FileLog) or
+	// reused (MemoryLog) afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// MemoryLog is an in-memory Log. It survives simulated crashes (the owner
+// discards its volatile state but keeps the MemoryLog, exactly as a disk
+// would survive) and is safe for concurrent use.
+type MemoryLog struct {
+	mu     sync.Mutex
+	recs   []Record
+	closed bool
+}
+
+// NewMemoryLog returns an empty in-memory log.
+func NewMemoryLog() *MemoryLog { return &MemoryLog{} }
+
+// Append implements Log.
+func (l *MemoryLog) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec.LSN = uint64(len(l.recs) + 1)
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	l.recs = append(l.recs, rec)
+	return rec.LSN, nil
+}
+
+// Records implements Log.
+func (l *MemoryLog) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	out := make([]Record, len(l.recs))
+	copy(out, l.recs)
+	return out, nil
+}
+
+// Close implements Log. A closed MemoryLog can be reopened with Reopen.
+func (l *MemoryLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// Reopen makes a closed MemoryLog usable again, modelling a site restart
+// that remounts its disk.
+func (l *MemoryLog) Reopen() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = false
+}
+
+// FileLog is a disk-backed Log. Records are length-prefixed and protected
+// by CRC-32; a torn or corrupt tail is truncated on open.
+//
+// On-disk record layout (little endian):
+//
+//	uint32 length of body
+//	uint32 CRC-32 (IEEE) of body
+//	body: uint8 type | uint16 len(txid) | txid | payload
+type FileLog struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	next  uint64
+	sync  bool
+	recs  []Record // cached, in append order
+	close bool
+}
+
+// FileLogOptions configures a FileLog.
+type FileLogOptions struct {
+	// NoSync disables fsync after each append. Faster, but a crash of the
+	// host (not just the process) may lose the tail of the log.
+	NoSync bool
+}
+
+// OpenFileLog opens or creates a file-backed log, replaying any existing
+// records and truncating a torn tail.
+func OpenFileLog(path string, opts FileLogOptions) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &FileLog{f: f, path: path, sync: !opts.NoSync}
+	validLen, recs, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.recs = recs
+	l.next = uint64(len(recs) + 1)
+	return l, nil
+}
+
+// scan reads records from the start of f, returning the byte length of the
+// valid prefix and the decoded records. Corruption or truncation ends the
+// scan without error: the tail is simply discarded.
+func scan(f *os.File) (int64, []Record, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, nil, err
+	}
+	var (
+		recs  []Record
+		valid int64
+		hdr   [8]byte
+		lsn   uint64
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return valid, recs, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > 64<<20 {
+			return valid, recs, nil // absurd length: corrupt tail
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return valid, recs, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return valid, recs, nil // corrupt body
+		}
+		rec, ok := decodeBody(body)
+		if !ok {
+			return valid, recs, nil
+		}
+		lsn++
+		rec.LSN = lsn
+		recs = append(recs, rec)
+		valid += int64(8 + len(body))
+	}
+}
+
+func encodeBody(rec Record) []byte {
+	body := make([]byte, 0, 3+len(rec.TxID)+len(rec.Payload))
+	body = append(body, byte(rec.Type))
+	var tl [2]byte
+	binary.LittleEndian.PutUint16(tl[:], uint16(len(rec.TxID)))
+	body = append(body, tl[:]...)
+	body = append(body, rec.TxID...)
+	body = append(body, rec.Payload...)
+	return body
+}
+
+func decodeBody(body []byte) (Record, bool) {
+	if len(body) < 3 {
+		return Record{}, false
+	}
+	rec := Record{Type: RecordType(body[0])}
+	tl := int(binary.LittleEndian.Uint16(body[1:3]))
+	if len(body) < 3+tl {
+		return Record{}, false
+	}
+	rec.TxID = string(body[3 : 3+tl])
+	if rest := body[3+tl:]; len(rest) > 0 {
+		rec.Payload = append([]byte(nil), rest...)
+	}
+	return rec, true
+}
+
+// Append implements Log.
+func (l *FileLog) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.close {
+		return 0, ErrClosed
+	}
+	if len(rec.TxID) > 1<<16-1 {
+		return 0, fmt.Errorf("wal: transaction ID too long (%d bytes)", len(rec.TxID))
+	}
+	body := encodeBody(rec)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := l.f.Write(body); err != nil {
+		return 0, fmt.Errorf("wal: append body: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	rec.LSN = l.next
+	l.next++
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	l.recs = append(l.recs, rec)
+	return rec.LSN, nil
+}
+
+// Records implements Log.
+func (l *FileLog) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.close {
+		return nil, ErrClosed
+	}
+	out := make([]Record, len(l.recs))
+	copy(out, l.recs)
+	return out, nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.close {
+		return nil
+	}
+	l.close = true
+	return l.f.Close()
+}
+
+// Path returns the log file's path.
+func (l *FileLog) Path() string { return l.path }

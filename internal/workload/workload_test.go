@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKVDeterministic(t *testing.T) {
+	cfg := Config{Sites: 4, KeysPerSite: 100, OpsPerTxn: 3, ReadFrac: 0.5, Seed: 7}
+	a, b := NewKV(cfg), NewKV(cfg)
+	for i := 0; i < 50; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Coordinator != tb.Coordinator || len(ta.Ops) != len(tb.Ops) {
+			t.Fatal("same seed diverged")
+		}
+		for j := range ta.Ops {
+			if ta.Ops[j] != tb.Ops[j] {
+				t.Fatal("same seed diverged in ops")
+			}
+		}
+	}
+}
+
+func TestKVShape(t *testing.T) {
+	g := NewKV(Config{Sites: 3, KeysPerSite: 10, OpsPerTxn: 4, ReadFrac: 0.0, Seed: 1})
+	reads := 0
+	for i := 0; i < 100; i++ {
+		tx := g.Next()
+		if tx.Coordinator < 1 || tx.Coordinator > 3 {
+			t.Fatalf("coordinator %d", tx.Coordinator)
+		}
+		if len(tx.Ops) != 4 {
+			t.Fatalf("ops = %d", len(tx.Ops))
+		}
+		for _, op := range tx.Ops {
+			if op.Site < 1 || op.Site > 3 {
+				t.Fatalf("site %d", op.Site)
+			}
+			if op.Read {
+				reads++
+			} else if op.Value == "" {
+				t.Fatal("write without value")
+			}
+		}
+		sites := tx.Sites()
+		if len(sites) < 1 || len(sites) > 3 {
+			t.Fatalf("sites = %v", sites)
+		}
+	}
+	if reads != 0 {
+		t.Fatalf("ReadFrac=0 produced %d reads", reads)
+	}
+}
+
+func TestKVZipfSkew(t *testing.T) {
+	g := NewKV(Config{Sites: 2, KeysPerSite: 1000, OpsPerTxn: 1, Zipf: true, Seed: 3})
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		counts[g.Next().Ops[0].Key]++
+	}
+	// Zipf: the hottest key should dominate a uniform share by far.
+	if counts["k0"] < 200 {
+		t.Fatalf("k0 drawn only %d times; not skewed", counts["k0"])
+	}
+}
+
+func TestBankTransfersCrossSites(t *testing.T) {
+	g := NewBank(4, 10, 11)
+	for i := 0; i < 200; i++ {
+		tx := g.Next()
+		if len(tx.Ops) != 2 {
+			t.Fatalf("ops = %d", len(tx.Ops))
+		}
+		if tx.Ops[0].Site == tx.Ops[1].Site {
+			t.Fatal("transfer within one site")
+		}
+		if tx.Coordinator != tx.Ops[0].Site {
+			t.Fatal("coordinator should be the debit site")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewKV(Config{}) },
+		func() { NewBank(1, 10, 0) },
+		func() { NewBank(2, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickSitesSubset: Sites() is always a nonempty subset of the site
+// range with no duplicates.
+func TestQuickSitesSubset(t *testing.T) {
+	g := NewKV(Config{Sites: 5, KeysPerSite: 20, OpsPerTxn: 6, ReadFrac: 0.3, Seed: 9})
+	f := func() bool {
+		tx := g.Next()
+		sites := tx.Sites()
+		seen := map[int]bool{}
+		for _, s := range sites {
+			if s < 1 || s > 5 || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return len(sites) >= 1
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
