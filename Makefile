@@ -1,0 +1,35 @@
+GO ?= go
+FUZZTIME ?= 10s
+DST_SEEDS ?= 500
+
+.PHONY: all build vet test race fuzz-smoke dst dst-ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every fuzz target, starting from the checked-in
+# seed corpora under */testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzScan$$' -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeWrites$$' -fuzztime=$(FUZZTIME) ./internal/kv
+	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/protocol
+
+# Deterministic simulation sweep: exhaustive crash-point enumeration plus
+# $(DST_SEEDS) random failure schedules per protocol.
+dst:
+	$(GO) run ./cmd/dst -protocol both -seeds $(DST_SEEDS)
+
+# Capped sweep for CI.
+dst-ci:
+	$(GO) run ./cmd/dst -protocol both -seeds 50

@@ -1,0 +1,357 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nbcommit/internal/engine"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// Report is the outcome of one explored schedule.
+type Report struct {
+	// Scenario names the schedule ("site 2 crashes after WAL append
+	// vote-yes#1", "random schedule seed=41", ...).
+	Scenario string
+	Protocol engine.ProtocolKind
+	// Seed reproduces the schedule for random runs; 0 for enumerated ones.
+	Seed int64
+	// Steps the scheduler executed.
+	Steps int
+	// Blocked records that some operational site reported ErrBlocked before
+	// recovery — expected (and sought) for 2PC, a violation for 3PC.
+	Blocked bool
+	// Violations are invariant breaches; empty means the schedule passed.
+	Violations []string
+	// Trace is the full deterministic event journal, for replay diffing.
+	Trace []string
+	// WALDigest fingerprints all durable state at the end of the run.
+	WALDigest string
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// action is one scripted fault in a random schedule.
+type action struct {
+	step int
+	kind string // "crash", "recover", "block", "unblock"
+	site int
+	a, b int
+}
+
+// plan drives a random schedule: an rng choosing delivery order plus a
+// step-stamped fault script.
+type plan struct {
+	rng     *rand.Rand
+	actions []action
+	next    int
+	// lossy enables fair-loss message drops: each (kind, txid, from, to)
+	// identity is dropped at most once, so retransmissions always get
+	// through eventually — any stall under this model is a missing-retry
+	// bug, not bad luck.
+	lossy   bool
+	dropped map[string]bool
+}
+
+// maybeDrop decides whether to lose this message (fair-loss model).
+func (p *plan) maybeDrop(m transport.Message) bool {
+	if p == nil || !p.lossy || p.rng.Intn(8) != 0 {
+		return false
+	}
+	key := fmt.Sprintf("%s|%s|%d|%d", m.Kind, m.TxID, m.From, m.To)
+	if p.dropped[key] {
+		return false
+	}
+	p.dropped[key] = true
+	return true
+}
+
+// fire applies every action whose step has arrived.
+func (p *plan) fire(c *cluster) {
+	for p.next < len(p.actions) && p.actions[p.next].step <= c.steps {
+		p.apply(c, p.actions[p.next])
+		p.next++
+	}
+}
+
+// fireNext pulls the next scheduled fault forward; used when the cluster
+// goes quiescent before the script's step stamp is reached.
+func (p *plan) fireNext(c *cluster) bool {
+	if p.next >= len(p.actions) {
+		return false
+	}
+	p.apply(c, p.actions[p.next])
+	p.next++
+	return true
+}
+
+func (p *plan) apply(c *cluster, a action) {
+	switch a.kind {
+	case "crash":
+		if !c.down[a.site] && c.aliveCount() > 1 {
+			c.crash(a.site)
+		}
+	case "recover":
+		c.recoverSite(a.site)
+	case "block":
+		c.tracef("partition %d<->%d", a.a, a.b)
+		c.net.Block(a.a, a.b)
+	case "unblock":
+		c.tracef("heal %d<->%d", a.a, a.b)
+		c.net.Unblock(a.a, a.b)
+	}
+}
+
+func (c *cluster) aliveCount() int {
+	n := 0
+	for _, id := range c.ids {
+		if !c.down[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// enumerateCrashPoints derives every single-crash schedule from a fault-free
+// reference execution: one crash point per WAL append and per message
+// delivery observed anywhere in the cluster. Because the crash run is
+// byte-identical to the reference run up to the trigger, every enumerated
+// point is guaranteed to fire.
+func enumerateCrashPoints(cfg Config) []CrashPoint {
+	c := newCluster(cfg, nil)
+	if err := c.begin(1, "t1", false); err != nil {
+		panic(fmt.Sprintf("dst: reference begin failed: %v", err))
+	}
+	c.run(nil)
+	var pts []CrashPoint
+	for _, id := range c.ids {
+		var types []wal.RecordType
+		for rt := range c.logs[id].seen {
+			types = append(types, rt)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, rt := range types {
+			for k := 1; k <= c.logs[id].seen[rt]; k++ {
+				pts = append(pts, CrashPoint{Site: id, kind: afterAppend, Rec: rt, Nth: k})
+			}
+		}
+		for j := 1; j <= c.delivered[id]; j++ {
+			pts = append(pts, CrashPoint{Site: id, kind: afterDeliver, Msg: j})
+		}
+	}
+	return pts
+}
+
+// ExploreCrashPoints runs the exhaustive single-crash-point enumeration for
+// cfg: one transaction, FIFO delivery, a crash at every WAL append and every
+// message processing observed in the fault-free execution, followed by
+// staggered recovery of the crashed site.
+func ExploreCrashPoints(cfg Config) []Report {
+	cfg = cfg.withDefaults()
+	var reports []Report
+	for _, cp := range enumerateCrashPoints(cfg) {
+		reports = append(reports, RunCrashPoint(cfg, cp))
+	}
+	return reports
+}
+
+// RunCrashPoint executes one enumerated single-crash schedule and checks the
+// invariants before and after recovering the crashed site.
+func RunCrashPoint(cfg Config, cp CrashPoint) Report {
+	cfg = cfg.withDefaults()
+	c := newCluster(cfg, &cp)
+	r := Report{Scenario: cp.String(), Protocol: cfg.Protocol}
+	if err := c.begin(1, "t1", false); err != nil {
+		r.violate("begin failed: %v", err)
+		return r
+	}
+	c.run(nil)
+
+	if !c.everCrashed[cp.Site] {
+		// Every enumerated point comes from the reference execution, so a
+		// trigger that never fires means the simulation diverged — a
+		// determinism bug in the harness or the engine.
+		r.violate("crash point never fired: %s", cp)
+	}
+
+	// Pre-recovery check at the operational sites.
+	pre := c.snapshot()
+	for _, txid := range c.sortedTxids() {
+		for _, id := range aliveKnownPending(pre[txid], c.ids) {
+			if pre[txid][id].blocked {
+				r.Blocked = true
+				if cfg.Protocol == engine.ThreePhase {
+					r.violate("3PC nonblocking violated: site %d blocked on %s with one crash", id, txid)
+				}
+				continue
+			}
+			r.violate("%s: site %d stuck on %s before recovery (pending, no blocking verdict)",
+				cfg.Protocol, id, txid)
+		}
+	}
+
+	// Staggered recovery of the crashed site, then the final consistency and
+	// liveness check.
+	if c.down[cp.Site] {
+		c.recoverSite(cp.Site)
+		c.run(nil)
+	}
+	post := c.snapshot()
+	checkConsistency(c, post, &r)
+	for _, txid := range c.sortedTxids() {
+		for _, id := range aliveKnownPending(post[txid], c.ids) {
+			r.violate("%s unresolved at site %d after recovery", txid, id)
+		}
+	}
+	finishReport(c, &r)
+	return r
+}
+
+// RunRandom executes one seeded random schedule: 1-3 transactions (central
+// or decentralized, with scripted NO votes), random delivery order, up to
+// Sites-1 crashes with optional staggered recoveries, and an optional
+// transient partition. The same (cfg, seed) pair replays byte-for-byte.
+func RunRandom(cfg Config, seed int64) Report {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	c := newCluster(cfg, nil)
+	r := Report{
+		Scenario: fmt.Sprintf("random schedule seed=%d", seed),
+		Protocol: cfg.Protocol,
+		Seed:     seed,
+	}
+
+	// Script the workload.
+	type txn struct {
+		id    string
+		coord int
+		peer  bool
+	}
+	var txns []txn
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		tx := txn{
+			id:    fmt.Sprintf("t%d", i+1),
+			coord: 1 + rng.Intn(cfg.Sites),
+			peer:  rng.Intn(4) == 0,
+		}
+		txns = append(txns, tx)
+		for _, site := range c.ids {
+			if rng.Intn(8) == 0 {
+				c.res[site].refuse[tx.id] = true
+				c.tracef("script: site %d votes NO on %s", site, tx.id)
+			}
+		}
+	}
+
+	// Script the faults: crash at most Sites-1 distinct sites (the paper's
+	// nonblocking guarantee needs one operational site), each with a coin-flip
+	// staggered recovery, plus an occasional transient partition.
+	p := &plan{rng: rng, lossy: rng.Intn(2) == 0, dropped: map[string]bool{}}
+	if p.lossy {
+		c.tracef("script: fair-loss message drops enabled")
+	}
+	perm := rng.Perm(cfg.Sites)
+	hasPartition := false
+	for i := 0; i < rng.Intn(cfg.Sites); i++ {
+		site := perm[i] + 1
+		step := 1 + rng.Intn(80)
+		p.actions = append(p.actions, action{step: step, kind: "crash", site: site})
+		if rng.Intn(2) == 0 {
+			p.actions = append(p.actions, action{step: step + 20 + rng.Intn(150), kind: "recover", site: site})
+		}
+	}
+	if rng.Intn(4) == 0 && cfg.Sites >= 2 {
+		a := 1 + rng.Intn(cfg.Sites)
+		b := 1 + rng.Intn(cfg.Sites)
+		if a != b {
+			hasPartition = true
+			s := 1 + rng.Intn(60)
+			p.actions = append(p.actions, action{step: s, kind: "block", a: a, b: b})
+			p.actions = append(p.actions, action{step: s + 10 + rng.Intn(80), kind: "unblock", a: a, b: b})
+		}
+	}
+	sort.SliceStable(p.actions, func(i, j int) bool { return p.actions[i].step < p.actions[j].step })
+
+	for _, tx := range txns {
+		if err := c.begin(tx.coord, tx.id, tx.peer); err != nil {
+			r.violate("begin %s failed: %v", tx.id, err)
+		}
+	}
+	c.run(p)
+
+	snap := c.snapshot()
+	checkConsistency(c, snap, &r)
+	for _, views := range snap {
+		for _, v := range views {
+			if v.blocked {
+				r.Blocked = true
+			}
+		}
+	}
+
+	crashed := len(c.everCrashed) > 0
+	for _, txid := range c.sortedTxids() {
+		views := snap[txid]
+		// A site that never failed and resolved the transaction can answer
+		// any recovered site's DECIDE-REQ, so pending is then inexcusable
+		// everywhere.
+		resolvedByHealthy := false
+		for _, id := range c.ids {
+			v, ok := views[id]
+			if ok && !c.everCrashed[id] && v.known && v.outcome != engine.OutcomePending {
+				resolvedByHealthy = true
+			}
+		}
+		for _, id := range aliveKnownPending(views, c.ids) {
+			switch {
+			case cfg.Protocol == engine.ThreePhase && !hasPartition && !c.everCrashed[id]:
+				// The nonblocking theorem: an operational 3PC site terminates
+				// regardless of how many others crashed.
+				r.violate("3PC nonblocking violated: operational site %d pending on %s (blocked=%v)",
+					id, txid, views[id].blocked)
+			case cfg.Protocol == engine.ThreePhase && !hasPartition && resolvedByHealthy:
+				r.violate("recovered site %d stuck on %s though a healthy site knows the outcome", id, txid)
+			case cfg.Protocol == engine.TwoPhase && !crashed && !hasPartition:
+				r.violate("2PC failed to resolve %s at site %d with no failures", txid, id)
+			}
+		}
+	}
+	finishReport(c, &r)
+	return r
+}
+
+// checkConsistency asserts the fundamental invariant on a snapshot: no two
+// sites decided the same transaction differently.
+func checkConsistency(c *cluster, snap map[string]map[int]view, r *Report) {
+	for _, txid := range c.sortedTxids() {
+		views := snap[txid]
+		var committed, aborted []int
+		for _, id := range c.ids {
+			v, ok := views[id]
+			if !ok || !v.known {
+				continue
+			}
+			switch v.outcome {
+			case engine.OutcomeCommitted:
+				committed = append(committed, id)
+			case engine.OutcomeAborted:
+				aborted = append(aborted, id)
+			}
+		}
+		if len(committed) > 0 && len(aborted) > 0 {
+			r.violate("consistency violated on %s: sites %v committed, sites %v aborted",
+				txid, committed, aborted)
+		}
+	}
+}
+
+func finishReport(c *cluster, r *Report) {
+	r.Violations = append(r.Violations, c.failures...)
+	r.Steps = c.steps
+	r.Trace = c.trace
+	r.WALDigest = c.walDigest()
+}

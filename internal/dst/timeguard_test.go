@@ -1,0 +1,45 @@
+package dst
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wallClockUse matches direct wall-clock calls that would make the engine's
+// protocol behavior untestable under the virtual clock.
+var wallClockUse = regexp.MustCompile(`\btime\.(Now|After|AfterFunc|Sleep|NewTimer|NewTicker|Tick|Since|Until)\b`)
+
+// TestEngineUsesInjectedClockOnly enforces the determinism contract: no
+// production file in internal/engine may reach for package time's clock —
+// all protocol timing must flow through the injected clock.Clock, or the
+// simulation harness cannot control it.
+func TestEngineUsesInjectedClockOnly(t *testing.T) {
+	dir := filepath.Join("..", "engine")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wallClockUse.FindString(line); m != "" {
+				t.Errorf("%s:%d uses wall clock %s; route it through clock.Clock", name, i+1, m)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no engine source files found; wrong path?")
+	}
+}

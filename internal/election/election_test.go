@@ -30,17 +30,19 @@ type bullyCluster struct {
 	mu      sync.Mutex
 	bullies map[int]*Bully
 	dead    map[int]bool
+	cut     map[[2]int]bool
 }
 
 func newBullyCluster(ids []int, timeout time.Duration) *bullyCluster {
-	c := &bullyCluster{bullies: map[int]*Bully{}, dead: map[int]bool{}}
+	c := &bullyCluster{bullies: map[int]*Bully{}, dead: map[int]bool{}, cut: map[[2]int]bool{}}
 	for _, id := range ids {
 		id := id
 		c.bullies[id] = NewBully(id, ids, timeout, func(to int, kind string) {
 			c.mu.Lock()
 			dst, deadSrc, deadDst := c.bullies[to], c.dead[id], c.dead[to]
+			severed := c.cut[link(id, to)]
 			c.mu.Unlock()
-			if dst == nil || deadSrc || deadDst {
+			if dst == nil || deadSrc || deadDst || severed {
 				return
 			}
 			go dst.Observe(id, kind)
@@ -49,10 +51,25 @@ func newBullyCluster(ids []int, timeout time.Duration) *bullyCluster {
 	return c
 }
 
+func link(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
 func (c *bullyCluster) kill(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dead[id] = true
+}
+
+// sever cuts the link between two sites in both directions without killing
+// either — a network partition rather than a crash.
+func (c *bullyCluster) sever(a, b int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut[link(a, b)] = true
 }
 
 func (c *bullyCluster) runAlive(t *testing.T) map[int]int {
@@ -149,6 +166,63 @@ func TestBullyObserveCoordinatorShortCircuits(t *testing.T) {
 	}
 	if time.Since(start) > 500*time.Millisecond {
 		t.Fatal("announcement did not short-circuit the timeout")
+	}
+}
+
+// TestBullyOKThenSilenceReclaims covers a higher site acknowledging the
+// challenge and then crashing before announcing a winner: the challenger must
+// re-challenge up to maxRounds and finally claim the election itself instead
+// of hanging on the dead site's promise.
+func TestBullyOKThenSilenceReclaims(t *testing.T) {
+	var mu sync.Mutex
+	elects := 0
+	var b *Bully
+	b = NewBully(2, []int{2, 3}, 15*time.Millisecond, func(to int, kind string) {
+		if kind != KindElect || to != 3 {
+			return
+		}
+		mu.Lock()
+		elects++
+		first := elects == 1
+		mu.Unlock()
+		if first {
+			// Site 3 answers the first challenge... and is never heard from
+			// again.
+			go b.Observe(3, KindOK)
+		}
+	})
+	if w := b.Run(); w != 2 {
+		t.Fatalf("Run = %d, want 2 (reclaimed from silent higher site)", w)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if elects != maxRounds {
+		t.Fatalf("challenges sent = %d, want %d re-challenge rounds", elects, maxRounds)
+	}
+}
+
+// TestBullyMinorityPartition splits {1,2} from {3,4}: each side elects its
+// own highest reachable site. The bully election alone offers no quorum
+// safety under partitions — which is why the commit engine's termination
+// protocol still withholds any decision until the elected backup collects
+// acknowledgements from every operational cohort site.
+func TestBullyMinorityPartition(t *testing.T) {
+	c := newBullyCluster([]int{1, 2, 3, 4}, 30*time.Millisecond)
+	for _, a := range []int{1, 2} {
+		for _, b := range []int{3, 4} {
+			c.sever(a, b)
+		}
+	}
+	results := c.runAlive(t)
+	for _, id := range []int{1, 2} {
+		if results[id] != 2 {
+			t.Errorf("minority site %d elected %d, want 2", id, results[id])
+		}
+	}
+	for _, id := range []int{3, 4} {
+		if results[id] != 4 {
+			t.Errorf("majority site %d elected %d, want 4", id, results[id])
+		}
 	}
 }
 

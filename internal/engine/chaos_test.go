@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -12,14 +13,24 @@ import (
 	"nbcommit/internal/transport"
 )
 
+// chaosSeed pins the chaos test to a single seed for reproducing a failure:
+//
+//	go test ./internal/engine -run TestChaosMultiCoordinator -chaos.seed=7
+var chaosSeed = flag.Int64("chaos.seed", 0, "run only this chaos seed (0 = default sweep)")
+
 // TestChaosMultiCoordinator drives many concurrent transactions initiated
 // from different coordinators over a lossy network, crashes a site
 // mid-stream and recovers it, and then verifies the global invariant: for
 // every transaction, no two sites decided differently — and after the dust
 // settles every operational site that knows a transaction has resolved it.
 func TestChaosMultiCoordinator(t *testing.T) {
-	for seed := int64(1); seed <= 3; seed++ {
+	seeds := []int64{1, 2, 3}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Logf("chaos seed %d (replay: go test ./internal/engine -run TestChaosMultiCoordinator -chaos.seed=%d)", seed, seed)
 			const (
 				nSites = 5
 				nTxns  = 24

@@ -46,14 +46,9 @@ func (s *Site) Begin(txid string, participants []int) error {
 	}
 
 	// The coordinator's own vote, off the event loop so a slow local
-	// prepare doesn't stall message processing.
-	go func() {
-		redo, err := s.res.Prepare(txid)
-		select {
-		case s.events <- event{vote: &voteResult{txid: txid, redo: redo, err: err, own: true}}:
-		case <-s.quit:
-		}
-	}()
+	// prepare doesn't stall message processing (inline in deterministic
+	// mode).
+	s.castVote(txid, true, false)
 	return nil
 }
 

@@ -55,7 +55,7 @@ func (s *Site) onDXact(m transport.Message) {
 	}
 	s.mu.Lock()
 	t := s.tx(m.TxID)
-	if t.phase != phaseInit || t.voting || t.resolved() {
+	if t.phase != phaseInit || t.voting || t.resolved() || t.fenced {
 		s.mu.Unlock()
 		return
 	}
@@ -67,13 +67,7 @@ func (s *Site) onDXact(m transport.Message) {
 	}
 	s.mu.Unlock()
 
-	go func() {
-		redo, err := s.res.Prepare(m.TxID)
-		select {
-		case s.events <- event{vote: &voteResult{txid: m.TxID, redo: redo, err: err, peer: true}}:
-		case <-s.quit:
-		}
-	}()
+	s.castVote(m.TxID, false, true)
 }
 
 // onPeerVoteResult completes the peer's local vote and broadcasts it.
@@ -122,6 +116,17 @@ func (s *Site) onDVote(m transport.Message) {
 	if t.resolved() {
 		s.sendOutcome(m.From, t)
 		return
+	}
+	if t.recovering {
+		// In doubt after a crash: we cannot rejoin the vote round, but the
+		// sender must learn that — it will exclude us and run the termination
+		// protocol among the operational sites instead of retransmitting
+		// forever.
+		s.send(m.From, KindStatusRes, t.id, []byte{statusRecovering})
+		return
+	}
+	if t.fenced {
+		return // under backup control: only the termination protocol moves us
 	}
 	if t.dvotes == nil {
 		t.dvotes = map[int]byte{}
@@ -189,6 +194,13 @@ func (s *Site) onDPrepare(m transport.Message) {
 		s.sendOutcome(m.From, t)
 		return
 	}
+	if t.recovering {
+		s.send(m.From, KindStatusRes, t.id, []byte{statusRecovering})
+		return
+	}
+	if t.fenced {
+		return // under backup control: only the termination protocol moves us
+	}
 	if t.dprepares == nil {
 		t.dprepares = map[int]bool{}
 	}
@@ -221,6 +233,14 @@ func (s *Site) peerTimeout(t *txState) {
 		s.retryRecovery(t)
 		return
 	}
+	if t.termActive || t.fenced {
+		// Termination is under way (we are the backup, or fenced by one):
+		// a crashed cohort member recovering must not drop us back into the
+		// normal retransmission path — fenced sites ignore that traffic, so
+		// only re-driving the termination protocol can still resolve.
+		s.startTermination(t)
+		return
+	}
 	allAlive := true
 	for _, p := range t.meta.Participants {
 		if !s.det.Alive(p) {
@@ -231,10 +251,17 @@ func (s *Site) peerTimeout(t *txState) {
 	if allAlive && !t.blocked {
 		// Slow or lossy peers: rebroadcast our own round messages — a peer
 		// may have missed them even if we already hold its reply, so resend
-		// unconditionally (receipt is idempotent).
+		// unconditionally (receipt is idempotent). A peer we hold no vote
+		// from may never have received the transaction at all (lost D-XACT),
+		// and votes alone cannot tell it what to vote on — resend the
+		// distribution too. Any site that voted holds the full meta, so any
+		// site can do this, not just the initiator.
 		for _, p := range t.meta.Participants {
 			if p == s.id {
 				continue
+			}
+			if _, voted := t.dvotes[p]; !voted {
+				s.send(p, KindDXact, t.id, encodeMeta(t.meta))
 			}
 			s.send(p, KindDYes, t.id, nil)
 			if t.phase == phasePrepared {

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"nbcommit/internal/clock"
 	"nbcommit/internal/failure"
 	"nbcommit/internal/trace"
 	"nbcommit/internal/transport"
@@ -175,6 +176,14 @@ type txState struct {
 
 	termAcks   map[int]bool // backup coordinator: phase-1 acks
 	termActive bool         // backup coordinator: termination underway
+	termPhase  phase        // backup coordinator: state broadcast in phase 1
+	// fenced is set once this site is under a backup coordinator's control
+	// (it acked a TERM-STATE sync, or is the backup itself). From then on
+	// only the termination protocol may move the transaction: late
+	// normal-protocol messages still in flight from a dead site could
+	// otherwise advance us past the state the backup synchronized, and a
+	// cascading backup would decide from the drifted state.
+	fenced     bool
 	statuses   map[int]byte // 2PC cooperative termination: cohort phases
 	queried    bool         // 2PC cooperative termination started
 	excluded   map[int]bool // sites refusing the backup role (recovering)
@@ -186,7 +195,7 @@ type txState struct {
 	dvotes     map[int]byte // decentralized: vote round ('y'/'n' per site)
 	dprepares  map[int]bool // decentralized 3PC: prepare round
 
-	timer *time.Timer // participant decision / coordinator collection timer
+	timer clock.Timer // participant decision / coordinator collection timer
 	done  chan struct{}
 }
 
@@ -212,6 +221,18 @@ type Config struct {
 	// failure and (for participants) invoking the termination protocol.
 	// Zero means 200ms.
 	Timeout time.Duration
+	// Clock supplies time to every protocol path (timers, deadlines). Nil
+	// means the wall clock; deterministic simulation (internal/dst) injects
+	// a virtual clock so timeouts fire only when the simulation advances it.
+	Clock clock.Clock
+	// Deterministic disables the engine's internal concurrency for
+	// simulation testing: no event-loop goroutine is started,
+	// Resource.Prepare runs inline, and every message, timer callback and
+	// crash report is processed synchronously on the goroutine that injects
+	// it. The simulation driver feeds messages in via Site.Deliver and must
+	// use a Clock whose callbacks fire on the driver's goroutine (a virtual
+	// clock). Real deployments leave this false.
+	Deterministic bool
 	// Unhandled, when set, receives every message whose kind the engine
 	// does not recognize — heartbeats, application data-plane traffic, and
 	// anything else multiplexed onto the site's endpoint. Called on the
@@ -232,6 +253,8 @@ type Site struct {
 	det       failure.Detector
 	kind      ProtocolKind
 	timeout   time.Duration
+	clk       clock.Clock
+	determin  bool
 	unhandled func(transport.Message)
 	trace     *trace.Recorder
 
@@ -293,6 +316,10 @@ func New(cfg Config) (*Site, error) {
 	if to == 0 {
 		to = 200 * time.Millisecond
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Wall
+	}
 	s := &Site{
 		id:        cfg.ID,
 		ep:        cfg.Endpoint,
@@ -301,6 +328,8 @@ func New(cfg Config) (*Site, error) {
 		det:       cfg.Detector,
 		kind:      cfg.Protocol,
 		timeout:   to,
+		clk:       clk,
+		determin:  cfg.Deterministic,
 		unhandled: cfg.Unhandled,
 		trace:     cfg.Trace,
 		txns:      map[string]*txState{},
@@ -313,16 +342,61 @@ func New(cfg Config) (*Site, error) {
 // ID returns the site's identifier.
 func (s *Site) ID() int { return s.id }
 
-// Start launches the event loop and subscribes to crash reports.
+// Start launches the event loop and subscribes to crash reports. In
+// deterministic mode no goroutine is started: events are processed
+// synchronously as the simulation driver injects them.
 func (s *Site) Start() {
 	s.det.Watch(func(site int) {
-		select {
-		case s.events <- event{crashed: site}:
-		case <-s.quit:
-		}
+		s.dispatch(event{crashed: site})
 	})
+	if s.determin {
+		return
+	}
 	s.wg.Add(1)
 	go s.loop()
+}
+
+// dispatch routes an event to the site's event loop — or, in deterministic
+// mode, processes it synchronously on the caller's goroutine (protocol state
+// is mutex-protected, and the single-threaded simulation driver is the only
+// injector, so handlers never run concurrently).
+func (s *Site) dispatch(ev event) {
+	if s.determin {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if !stopped {
+			s.handleEvent(ev)
+		}
+		return
+	}
+	select {
+	case s.events <- ev:
+	case <-s.quit:
+	}
+}
+
+// Deliver synchronously processes one inbound message on the caller's
+// goroutine. It is the injection point used by deterministic simulation
+// (Config.Deterministic); sites wired to a live transport receive messages
+// through their endpoint instead.
+func (s *Site) Deliver(m transport.Message) {
+	s.dispatch(event{msg: &m})
+}
+
+// castVote runs Resource.Prepare and feeds the result back as an event —
+// asynchronously in normal operation (Prepare may wait on locks and must not
+// stall the event loop), inline in deterministic mode.
+func (s *Site) castVote(txid string, own, peer bool) {
+	run := func() {
+		redo, err := s.res.Prepare(txid)
+		s.dispatch(event{vote: &voteResult{txid: txid, redo: redo, err: err, own: own, peer: peer}})
+	}
+	if s.determin {
+		run()
+		return
+	}
+	go run()
 }
 
 // Stop shuts the site down gracefully. In-flight transactions stay
@@ -452,11 +526,8 @@ func (s *Site) armTimer(t *txState, d time.Duration) {
 		t.timer.Stop()
 	}
 	txid := t.id
-	t.timer = time.AfterFunc(d, func() {
-		select {
-		case s.events <- event{timeout: txid}:
-		case <-s.quit:
-		}
+	t.timer = s.clk.AfterFunc(d, func() {
+		s.dispatch(event{timeout: txid})
 	})
 }
 
@@ -489,7 +560,7 @@ func (s *Site) Outcome(txid string) (Outcome, error) {
 // WaitOutcome waiting (it may unblock when the coordinator recovers); use
 // Outcome to poll for ErrBlocked.
 func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) {
-	deadline := time.Now().Add(timeout)
+	deadline := s.clk.Now().Add(timeout)
 	for {
 		s.mu.Lock()
 		t, ok := s.txns[txid]
@@ -501,11 +572,11 @@ func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) 
 
 		if !ok {
 			// Not heard of yet: poll briefly for it to appear.
-			if time.Now().After(deadline) {
+			if s.clk.Now().After(deadline) {
 				return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
 			}
 			select {
-			case <-time.After(time.Millisecond):
+			case <-s.clk.After(time.Millisecond):
 				continue
 			case <-s.quit:
 				return OutcomePending, ErrStopped
@@ -514,7 +585,7 @@ func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) 
 		select {
 		case <-done:
 			return s.Outcome(txid)
-		case <-time.After(time.Until(deadline)):
+		case <-s.clk.After(deadline.Sub(s.clk.Now())):
 			return s.Outcome(txid)
 		case <-s.quit:
 			return OutcomePending, ErrStopped

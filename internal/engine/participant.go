@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
 )
@@ -23,13 +25,7 @@ func (s *Site) onVoteReq(m transport.Message) {
 	s.mu.Unlock()
 
 	// Vote off the event loop: Prepare may wait on locks.
-	go func() {
-		redo, err := s.res.Prepare(m.TxID)
-		select {
-		case s.events <- event{vote: &voteResult{txid: m.TxID, redo: redo, err: err}}:
-		case <-s.quit:
-		}
-	}()
+	s.castVote(m.TxID, false, false)
 }
 
 // onPrepareResult finishes the participant's vote once the local prepare
@@ -66,6 +62,9 @@ func (s *Site) onPrepareMsg(m transport.Message) {
 	t, ok := s.txns[m.TxID]
 	if !ok {
 		return
+	}
+	if t.fenced {
+		return // under backup control: only the termination protocol moves us
 	}
 	switch t.phase {
 	case phaseWait:
@@ -126,7 +125,12 @@ func (s *Site) handleTimeout(txid string) {
 // while blocked/recovering). Requires s.mu held.
 func (s *Site) participantTimeout(t *txState) {
 	if t.phase != phaseWait && t.phase != phasePrepared {
-		return
+		// A detached site in q only ever arms its timer when a termination
+		// attempt touched it (TERM-STATE); the timer expiring means the
+		// decision broadcast was lost — fall through and chase it.
+		if t.phase != phaseInit || !t.detached {
+			return
+		}
 	}
 	if t.recovering {
 		s.retryRecovery(t)
@@ -162,11 +166,19 @@ func inCohort(t *txState, site int) bool {
 	return false
 }
 
-// handleCrash reacts to a failure report from the detector.
+// handleCrash reacts to a failure report from the detector. Transactions are
+// visited in sorted ID order so that the reactions (and the messages they
+// emit) are reproducible under deterministic simulation.
 func (s *Site) handleCrash(site int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, t := range s.txns {
+	ids := make([]string, 0, len(s.txns))
+	for id := range s.txns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := s.txns[id]
 		if t.resolved() {
 			continue
 		}

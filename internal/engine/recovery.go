@@ -157,11 +157,16 @@ func (s *Site) onDecideReq(m transport.Message) {
 		s.send(m.From, KindDecideRes, m.TxID, []byte{'?'})
 		return
 	}
-	switch t.phase {
-	case phaseCommitted:
+	switch {
+	case t.phase == phaseCommitted:
 		s.send(m.From, KindDecideRes, m.TxID, []byte{'c'})
-	case phaseAborted:
+	case t.phase == phaseAborted:
 		s.send(m.From, KindDecideRes, m.TxID, []byte{'a'})
+	case t.recovering:
+		// In doubt after a crash: unlike a merely slow site, we can NEVER
+		// resolve this on our own, so "no answer yet" would make the asker
+		// wait on us forever. Say so explicitly.
+		s.send(m.From, KindDecideRes, m.TxID, []byte{statusRecovering})
 	default:
 		s.send(m.From, KindDecideRes, m.TxID, []byte{'?'})
 	}
@@ -186,6 +191,19 @@ func (s *Site) onDecideRes(m transport.Message) {
 	case 'a':
 		t.recovering = false
 		s.resolve(t, OutcomeAborted)
+	case statusRecovering:
+		// The site we were waiting on is itself in doubt after a crash —
+		// typically a recovered coordinator we keep nudging. It will never
+		// decide on its own; exclude it and run the termination protocol
+		// among the operational sites instead.
+		if t.recovering {
+			return // both in doubt: keep querying, someone else must know
+		}
+		if t.excluded == nil {
+			t.excluded = map[int]bool{}
+		}
+		t.excluded[m.From] = true
+		s.startTermination(t)
 	}
 }
 

@@ -69,6 +69,15 @@ func (s *Site) runBackup(t *txState) {
 	// transition to the backup's local state and wait for acknowledgements.
 	// (The paper permits omitting phase 1 when the backup is already in a
 	// final state — handled above by broadcasting directly.)
+	//
+	// The decision in phase 2 must come from the state broadcast HERE, not
+	// from whatever t.phase is by then: a stale in-flight PREPARE from the
+	// dead coordinator (or a late vote completing a decentralized round) can
+	// move this site w -> p mid-round, and deciding commit from the drifted
+	// state while the cohort was synchronized to w lets a subsequent backup
+	// decide the other way. Snapshot it.
+	t.termPhase = t.phase
+	t.fenced = true
 	t.termAcks = map[int]bool{}
 	body := append([]byte{t.phase.letter()}, encodeMeta(t.meta)...)
 	for _, p := range t.meta.Participants {
@@ -134,6 +143,7 @@ func (s *Site) onTermState(m transport.Message) {
 		// in-doubt.
 		t.phase = phaseWait
 	}
+	t.fenced = true
 	s.send(m.From, KindTermAck, t.id, nil)
 	s.armTimer(t, s.timeout)
 }
@@ -170,8 +180,10 @@ func (s *Site) maybeTermPhase2(t *txState) {
 	}
 	// Decision rule for backup coordinators (slide 39): commit iff the
 	// concurrency set of the backup's state contains a commit state — for
-	// the canonical 3PC, commit from {p, c}, abort from {q, w, a}.
-	if t.phase == phasePrepared {
+	// the canonical 3PC, commit from {p, c}, abort from {q, w, a}. Decide
+	// from the phase-1 snapshot, which is what the cohort was synchronized
+	// to (see runBackup).
+	if t.termPhase == phasePrepared {
 		s.resolve(t, OutcomeCommitted)
 	} else {
 		s.resolve(t, OutcomeAborted)
@@ -230,6 +242,20 @@ func (s *Site) onStatusReq(m transport.Message) {
 	case t.recovering:
 		s.send(m.From, KindStatusRes, t.id, []byte{statusRecovering})
 	case t.resolved():
+		s.sendOutcome(m.From, t)
+	case t.phase == phaseInit:
+		// A status query means a termination attempt is under way, and the
+		// querier will read q as "this site never voted, so no site can have
+		// committed" — and abort. That reading is only sound if it stays
+		// true: seal the state by unilaterally aborting from q now, so a
+		// late-arriving transaction distribution cannot revive the vote and
+		// assemble a commit behind the termination decision.
+		s.record("seal-abort", t.id, "status query while in q")
+		if t.coordinator {
+			s.decideAbort(t) // broadcasts, reaching the querier too
+			return
+		}
+		s.resolve(t, OutcomeAborted)
 		s.sendOutcome(m.From, t)
 	default:
 		s.send(m.From, KindStatusRes, t.id, []byte{t.phase.letter()})

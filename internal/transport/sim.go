@@ -1,0 +1,193 @@
+package transport
+
+import "sync"
+
+// SimNetwork is the deterministic message substrate for simulation testing
+// (internal/dst). Instead of delivering messages into endpoint inboxes,
+// every Send is captured into a single pending queue in send order; a
+// scheduler inspects the queue with Peek/Take and hands each message to its
+// destination site explicitly (engine.Site.Deliver), choosing the delivery
+// order. That makes every interleaving of a cluster run reproducible from a
+// seed.
+//
+// SimNetwork also plays the paper's reliable failure reporter: Alive and
+// Watch expose exactly the perfect-detector view of its crash state, so a
+// SimNetwork can serve directly as a cluster's failure.Detector.
+type SimNetwork struct {
+	mu       sync.Mutex
+	attached map[int]bool
+	down     map[int]bool
+	reported map[int]bool // crash watchers already notified
+	blocked  map[[2]int]bool
+	queue    []Message
+	watchers []func(site int)
+	sent     uint64
+	dropped  uint64
+}
+
+// NewSimNetwork returns an empty deterministic network.
+func NewSimNetwork() *SimNetwork {
+	return &SimNetwork{
+		attached: map[int]bool{},
+		down:     map[int]bool{},
+		reported: map[int]bool{},
+		blocked:  map[[2]int]bool{},
+	}
+}
+
+// Endpoint attaches (or re-attaches) site id. Re-attaching after a crash
+// models the site restarting: it becomes operational again with no queued
+// inbound messages (those were dropped with the crash).
+func (n *SimNetwork) Endpoint(id int) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.attached[id] = true
+	delete(n.down, id)
+	delete(n.reported, id)
+	return &simEndpoint{net: n, id: id}
+}
+
+// Silence marks a site failed without notifying crash watchers yet: its
+// sends stop escaping and nothing more reaches it. A crash-point hook uses
+// this mid-transition ("the site is dead as of this WAL append"); the
+// scheduler completes the crash with Crash between steps, which is when the
+// paper's failure report goes out.
+func (n *SimNetwork) Silence(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = true
+}
+
+// Crash marks a site failed, discards pending messages addressed to it (its
+// inbox dies with it; messages it already sent stay in flight), and notifies
+// every crash watcher — the network's reliable failure report. Safe to call
+// after Silence; the watchers still fire exactly once per crash.
+func (n *SimNetwork) Crash(id int) {
+	n.mu.Lock()
+	if n.reported[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.down[id] = true
+	n.reported[id] = true
+	kept := n.queue[:0]
+	for _, m := range n.queue {
+		if m.To == id {
+			n.dropped++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	n.queue = kept
+	watchers := append([]func(int){}, n.watchers...)
+	n.mu.Unlock()
+	for _, w := range watchers {
+		w(id)
+	}
+}
+
+// Alive reports whether the site is attached and not crashed — the perfect
+// failure detector of the paper's model.
+func (n *SimNetwork) Alive(id int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.attached[id] && !n.down[id]
+}
+
+// Watch registers a crash callback, satisfying failure.Detector.
+func (n *SimNetwork) Watch(cb func(site int)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.watchers = append(n.watchers, cb)
+}
+
+// Block cuts the link between two sites in both directions; messages sent
+// across it are lost (the senders' retransmissions recover them after
+// Unblock).
+func (n *SimNetwork) Block(a, b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[link(a, b)] = true
+}
+
+// Unblock restores the link between two sites.
+func (n *SimNetwork) Unblock(a, b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, link(a, b))
+}
+
+// Pending reports the number of captured, undelivered messages.
+func (n *SimNetwork) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Peek returns the i-th pending message without removing it.
+func (n *SimNetwork) Peek(i int) (Message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if i < 0 || i >= len(n.queue) {
+		return Message{}, false
+	}
+	return n.queue[i], true
+}
+
+// Take removes and returns the i-th pending message; the scheduler then
+// delivers it (or drops it, if the destination crashed meanwhile).
+func (n *SimNetwork) Take(i int) (Message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if i < 0 || i >= len(n.queue) {
+		return Message{}, false
+	}
+	m := n.queue[i]
+	n.queue = append(n.queue[:i], n.queue[i+1:]...)
+	return m, true
+}
+
+// Stats returns the number of messages captured and dropped so far.
+func (n *SimNetwork) Stats() (sent, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped
+}
+
+type simEndpoint struct {
+	net *SimNetwork
+	id  int
+}
+
+func (e *simEndpoint) ID() int { return e.id }
+
+// Recv returns nil: deterministic sites never read an inbox — the scheduler
+// injects messages via engine.Site.Deliver. A site accidentally run in
+// non-deterministic mode over a SimNetwork would wait forever here, which is
+// the loud failure mode we want.
+func (e *simEndpoint) Recv() <-chan Message { return nil }
+
+func (e *simEndpoint) Send(m Message) error {
+	m.From = e.id
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.attached[e.id] || n.down[e.id] {
+		return ErrClosed
+	}
+	if !n.attached[m.To] || n.down[m.To] || n.blocked[link(e.id, m.To)] {
+		n.dropped++
+		return nil // crash-stop: the message is lost, not an error
+	}
+	n.queue = append(n.queue, m)
+	n.sent++
+	return nil
+}
+
+func (e *simEndpoint) Close() error {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.attached, e.id)
+	return nil
+}
