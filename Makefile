@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci
+.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke
 
 all: build vet test
 
@@ -33,3 +33,13 @@ dst:
 # Capped sweep for CI.
 dst-ci:
 	$(GO) run ./cmd/dst -protocol both -seeds 50
+
+# Closed-loop commit throughput: 64 clients against a 3-node in-process
+# cluster, 2PC and 3PC, group commit on and off, fsync enabled. Emits
+# BENCH_commit_throughput.json.
+bench-throughput:
+	$(GO) run ./cmd/loadgen -clients 64 -duration 5s -out BENCH_commit_throughput.json
+
+# Short smoke for CI: same harness, small load, throwaway output.
+bench-throughput-smoke:
+	$(GO) run ./cmd/loadgen -clients 8 -duration 500ms -warmup 200ms -out /tmp/bench-smoke.json

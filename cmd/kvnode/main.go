@@ -45,6 +45,10 @@ func main() {
 		timeout    = flag.Duration("timeout", 500*time.Millisecond, "protocol timeout")
 		hbEvery    = flag.Duration("hb", 150*time.Millisecond, "heartbeat interval")
 		hbTimeout  = flag.Duration("hb-timeout", 600*time.Millisecond, "failure suspicion timeout")
+		forget     = flag.Duration("forget-after", 30*time.Second, "auto-forget settled transactions after this grace period (0: keep forever)")
+		compactEvy = flag.Duration("compact-every", 0, "rewrite the WAL online at this interval, dropping forgotten transactions (0: only at startup)")
+		walFlush   = flag.Duration("wal-flush-interval", 0, "group-commit window; 0 flushes as soon as the disk is free")
+		walNoSync  = flag.Bool("wal-no-sync", false, "skip fsync (throughput experiments only; commits are NOT durable)")
 	)
 	flag.Parse()
 	if *walPath == "" {
@@ -95,11 +99,25 @@ func main() {
 			log.Printf("kvnode %d: compacted WAL: kept %d records, dropped %d", *id, kept, droppedRecs)
 		}
 	}
-	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{})
+	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{
+		NoSync:        *walNoSync,
+		FlushInterval: *walFlush,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer logFile.Close()
+	if *compactEvy > 0 {
+		go func() {
+			for range time.Tick(*compactEvy) {
+				if kept, dropped, err := logFile.Compact(); err != nil {
+					log.Printf("kvnode %d: online compact: %v", *id, err)
+				} else if dropped > 0 {
+					log.Printf("kvnode %d: online compact: kept %d records, dropped %d", *id, kept, dropped)
+				}
+			}
+		}()
+	}
 
 	store := kv.NewStore(kv.Options{LockTimeout: 250 * time.Millisecond})
 	server := &remote.Server{Store: store, Send: ep.Send}
@@ -108,13 +126,14 @@ func main() {
 	// Recover always: on an empty WAL it is a no-op; after a crash it
 	// replays committed effects and launches the recovery protocol.
 	site, err := engine.Recover(engine.Config{
-		ID:       *id,
-		Endpoint: ep,
-		Log:      logFile,
-		Resource: dtx.StoreResource{Store: store},
-		Detector: hb,
-		Protocol: kind,
-		Timeout:  *timeout,
+		ID:          *id,
+		Endpoint:    ep,
+		Log:         logFile,
+		Resource:    dtx.StoreResource{Store: store},
+		Detector:    hb,
+		Protocol:    kind,
+		Timeout:     *timeout,
+		ForgetAfter: *forget,
 		Unhandled: func(m transport.Message) {
 			switch m.Kind {
 			case failure.HeartbeatKind:

@@ -1,0 +1,280 @@
+// Command loadgen measures sustained commit throughput: a closed loop of N
+// concurrent client sessions drives distributed transactions through a
+// 3-node in-process cluster whose sites run file-backed, fsync-enabled
+// write-ahead logs, for both 2PC and 3PC and with group commit on and off
+// (off = one serialized write+fsync per record, the pre-group-commit
+// baseline). Each scenario reports commits/sec, p50/p95/p99 commit latency,
+// WAL batch statistics, and steady-state memory, and the whole run is
+// written as JSON so the bench trajectory can track it.
+//
+//	loadgen -clients 64 -duration 5s -out BENCH_commit_throughput.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbcommit/internal/dtx"
+	"nbcommit/internal/engine"
+	"nbcommit/internal/metrics"
+	"nbcommit/internal/wal"
+)
+
+type scenarioResult struct {
+	Protocol      string  `json:"protocol"`
+	WAL           string  `json:"wal"` // "group" or "fsync-per-record"
+	Clients       int     `json:"clients"`
+	DurationS     float64 `json:"duration_s"`
+	Commits       int64   `json:"commits"`
+	Aborts        int64   `json:"aborts"`
+	Errors        int64   `json:"errors"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	WALBatches    int64   `json:"wal_batches"`
+	WALMeanBatch  float64 `json:"wal_mean_batch"`
+	WALMaxBatch   int64   `json:"wal_max_batch"`
+	SyncP99Ms     float64 `json:"sync_p99_ms"`
+	// Steady-state checks: transactions still tracked across all sites
+	// after the auto-forget grace period, and heap growth over the
+	// measured window (both must stay flat run over run).
+	TrackedTxns   int     `json:"tracked_txns_after_settle"`
+	HeapStartMB   float64 `json:"heap_start_mb"`
+	HeapEndMB     float64 `json:"heap_end_mb"`
+	ForgetAfterMs float64 `json:"forget_after_ms"`
+}
+
+type report struct {
+	Clients    int              `json:"clients"`
+	DurationS  float64          `json:"duration_s"`
+	Scenarios  []scenarioResult `json:"scenarios"`
+	Speedup2PC float64          `json:"speedup_2pc"` // group vs fsync-per-record
+	Speedup3PC float64          `json:"speedup_3pc"`
+}
+
+func main() {
+	var (
+		clients  = flag.Int("clients", 64, "concurrent closed-loop client sessions")
+		duration = flag.Duration("duration", 5*time.Second, "measured window per scenario")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per scenario")
+		out      = flag.String("out", "BENCH_commit_throughput.json", "JSON report path")
+		dir      = flag.String("dir", "", "WAL directory (default: a temp dir; use a real disk to measure real fsyncs)")
+		forget   = flag.Duration("forget-after", 250*time.Millisecond, "engine auto-forget grace period")
+	)
+	flag.Parse()
+
+	base := *dir
+	if base == "" {
+		var err error
+		base, err = os.MkdirTemp("", "loadgen-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(base)
+	}
+
+	rep := report{Clients: *clients, DurationS: duration.Seconds()}
+	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		for _, group := range []bool{false, true} {
+			res, err := runScenario(proto, group, *clients, *duration, *warmup, *forget, base)
+			if err != nil {
+				log.Fatalf("loadgen: %s group=%v: %v", proto, group, err)
+			}
+			rep.Scenarios = append(rep.Scenarios, *res)
+			fmt.Printf("%-4s %-17s %8.0f commits/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  mean batch %.1f\n",
+				res.Protocol, res.WAL, res.CommitsPerSec, res.P50Ms, res.P95Ms, res.P99Ms, res.WALMeanBatch)
+		}
+	}
+	rep.Speedup2PC = speedup(rep.Scenarios, "2PC")
+	rep.Speedup3PC = speedup(rep.Scenarios, "3PC")
+	fmt.Printf("group-commit speedup: 2PC %.2fx, 3PC %.2fx\n", rep.Speedup2PC, rep.Speedup3PC)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func speedup(scenarios []scenarioResult, proto string) float64 {
+	var group, base float64
+	for _, s := range scenarios {
+		if s.Protocol != proto {
+			continue
+		}
+		if s.WAL == "group" {
+			group = s.CommitsPerSec
+		} else {
+			base = s.CommitsPerSec
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return group / base
+}
+
+func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, warmup, forget time.Duration, base string) (*scenarioResult, error) {
+	walName := "fsync-per-record"
+	if group {
+		walName = "group"
+	}
+	dir, err := os.MkdirTemp(base, fmt.Sprintf("%s-%s-", proto, walName))
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var batches, batchRecs, maxBatch atomic.Int64
+	var syncHist metrics.Histogram
+	cluster, err := dtx.NewCluster(3, dtx.Options{
+		Protocol:      proto,
+		Timeout:       500 * time.Millisecond,
+		LockTimeout:   time.Second,
+		Dir:           dir,
+		SyncWAL:       true,
+		NoGroupCommit: !group,
+		ForgetAfter:   forget,
+		WALMetrics: wal.Metrics{
+			BatchRecords: func(n int) {
+				batches.Add(1)
+				batchRecs.Add(int64(n))
+				for {
+					old := maxBatch.Load()
+					if int64(n) <= old || maxBatch.CompareAndSwap(old, int64(n)) {
+						break
+					}
+				}
+			},
+			SyncLatency: func(d time.Duration) { syncHist.Observe(d) },
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	var (
+		lat       metrics.Histogram
+		commits   atomic.Int64
+		aborts    atomic.Int64
+		errsN     atomic.Int64
+		measuring atomic.Bool
+		stop      atomic.Bool
+		heapStart atomic.Int64
+	)
+	var wg sync.WaitGroup
+	firstErr := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			coord := 1 + c%3
+			for i := 0; !stop.Load(); i++ {
+				t, err := cluster.Begin(coord)
+				if err != nil {
+					firstErr <- err
+					return
+				}
+				ok := true
+				for site := 1; site <= 3; site++ {
+					if err := t.Put(site, fmt.Sprintf("c%d-s%d", c, site), fmt.Sprintf("v%d", i)); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					_ = t.Abort()
+					errsN.Add(1)
+					continue
+				}
+				start := time.Now()
+				o, err := t.Commit(10 * time.Second)
+				elapsed := time.Since(start)
+				if !measuring.Load() {
+					continue
+				}
+				switch {
+				case err != nil || o == engine.OutcomePending:
+					errsN.Add(1)
+				case o == engine.OutcomeCommitted:
+					commits.Add(1)
+					lat.Observe(elapsed)
+				default:
+					aborts.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(warmup)
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	heapStart.Store(int64(ms.HeapAlloc))
+	measuring.Store(true)
+	measureStart := time.Now()
+	time.Sleep(duration)
+	measuring.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-firstErr:
+		return nil, err
+	default:
+	}
+
+	// Let auto-forget settle, then check what the sites still remember.
+	time.Sleep(3 * forget)
+	tracked := 0
+	for _, id := range cluster.IDs() {
+		tracked += len(cluster.Node(id).Site.Transactions())
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+
+	res := &scenarioResult{
+		Protocol:        proto.String(),
+		WAL:             walName,
+		Clients:         clients,
+		DurationS:       elapsed.Seconds(),
+		Commits:         commits.Load(),
+		Aborts:          aborts.Load(),
+		Errors:          errsN.Load(),
+		CommitsPerSec:   float64(commits.Load()) / elapsed.Seconds(),
+		MeanMs:          ms2(lat.Mean()),
+		P50Ms:           ms2(lat.Quantile(0.50)),
+		P95Ms:           ms2(lat.Quantile(0.95)),
+		P99Ms:           ms2(lat.Quantile(0.99)),
+		MaxMs:           ms2(lat.Max()),
+		WALBatches:      batches.Load(),
+		WALMaxBatch:     maxBatch.Load(),
+		SyncP99Ms:       ms2(syncHist.Quantile(0.99)),
+		TrackedTxns:   tracked,
+		HeapStartMB:   float64(heapStart.Load()) / (1 << 20),
+		HeapEndMB:     float64(ms.HeapAlloc) / (1 << 20),
+		ForgetAfterMs: float64(forget) / float64(time.Millisecond),
+	}
+	if b := batches.Load(); b > 0 {
+		res.WALMeanBatch = float64(batchRecs.Load()) / float64(b)
+	}
+	return res, nil
+}
+
+func ms2(d time.Duration) float64 {
+	return float64(d.Round(10*time.Microsecond)) / float64(time.Millisecond)
+}

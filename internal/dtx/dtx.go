@@ -101,6 +101,22 @@ type Options struct {
 	// Dir, when set, stores each site's WAL in Dir/site<i>.wal instead of
 	// memory.
 	Dir string
+	// SyncWAL makes file-backed WALs (Dir set) fsync their batches, so a
+	// commit is durable when reported. Off by default: tests that only
+	// exercise protocol logic skip the fsyncs.
+	SyncWAL bool
+	// NoGroupCommit forces one serialized write+fsync per WAL record
+	// (wal.Synchronous), disabling group commit. This is the baseline the
+	// group-commit speedup is measured against.
+	NoGroupCommit bool
+	// FlushInterval is the group-commit window of file-backed WALs; zero
+	// flushes as soon as the flusher is free (natural batching).
+	FlushInterval time.Duration
+	// WALMetrics receives each site's batch-size and sync-latency samples.
+	WALMetrics wal.Metrics
+	// ForgetAfter enables the engine's auto-forget of settled transactions
+	// (see engine.Config.ForgetAfter). Zero keeps them forever.
+	ForgetAfter time.Duration
 }
 
 // Cluster is an in-process set of sites sharing a fault-injectable network.
@@ -153,7 +169,18 @@ func (c *Cluster) newLog(id int, prior wal.Log) (wal.Log, error) {
 		}
 		return wal.NewMemoryLog(), nil
 	}
-	return wal.OpenFileLog(filepath.Join(c.opts.Dir, fmt.Sprintf("site%d.wal", id)), wal.FileLogOptions{NoSync: true})
+	fl, err := wal.OpenFileLog(filepath.Join(c.opts.Dir, fmt.Sprintf("site%d.wal", id)), wal.FileLogOptions{
+		NoSync:        !c.opts.SyncWAL,
+		FlushInterval: c.opts.FlushInterval,
+		Metrics:       c.opts.WALMetrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.NoGroupCommit {
+		return wal.Synchronous(fl), nil
+	}
+	return fl, nil
 }
 
 // addNode creates (or recovers, when priorLog is non-nil) a node.
@@ -164,13 +191,14 @@ func (c *Cluster) addNode(id int, priorLog wal.Log) error {
 	}
 	store := kv.NewStore(kv.Options{LockTimeout: c.opts.LockTimeout, Policy: c.opts.Policy})
 	cfg := engine.Config{
-		ID:       id,
-		Endpoint: c.Net.Endpoint(id),
-		Log:      log,
-		Resource: StoreResource{Store: store},
-		Detector: c.Detector,
-		Protocol: c.opts.Protocol,
-		Timeout:  c.opts.Timeout,
+		ID:          id,
+		Endpoint:    c.Net.Endpoint(id),
+		Log:         log,
+		Resource:    StoreResource{Store: store},
+		Detector:    c.Detector,
+		Protocol:    c.opts.Protocol,
+		Timeout:     c.opts.Timeout,
+		ForgetAfter: c.opts.ForgetAfter,
 	}
 	var site *engine.Site
 	if priorLog != nil {

@@ -35,15 +35,19 @@ func (s *Site) Begin(txid string, participants []int) error {
 	t.acks = map[int]bool{}
 	s.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: encodeMeta(meta)})
 	s.armTimer(t, s.timeout)
-	s.mu.Unlock()
 
 	// First phase: distribute the transaction ("Start Xact" / VOTE-REQ).
+	// Still under s.mu so the sends defer behind the begin record's
+	// durability: were a VOTE-REQ to outrun it and the coordinator to
+	// crash, the recovered coordinator would not even know the transaction
+	// it asked the cohort to vote on.
 	body := encodeMeta(meta)
 	for _, p := range cohort {
 		if p != s.id {
 			s.send(p, KindVoteReq, txid, body)
 		}
 	}
+	s.mu.Unlock()
 
 	// The coordinator's own vote, off the event loop so a slow local
 	// prepare doesn't stall message processing (inline in deterministic

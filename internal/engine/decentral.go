@@ -34,14 +34,14 @@ func (s *Site) BeginPeer(txid string, participants []int) error {
 		s.mu.Unlock()
 		return fmt.Errorf("engine: site %d already has transaction %s", s.id, txid)
 	}
-	s.mu.Unlock()
-
 	body := encodeMeta(meta)
 	for _, p := range cohort {
 		if p != s.id {
 			s.send(p, KindDXact, txid, body)
 		}
 	}
+	s.mu.Unlock()
+
 	// Deliver our own copy directly.
 	s.onDXact(transport.Message{From: s.id, To: s.id, Kind: KindDXact, TxID: txid, Body: body})
 	return nil

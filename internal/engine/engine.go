@@ -13,8 +13,7 @@
 package engine
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -106,6 +105,7 @@ const (
 	KindStatusRes = "STATUS-RES" // reply: local phase
 	KindDecideReq = "DECIDE-REQ" // recovery: what happened to tx?
 	KindDecideRes = "DECIDE-RES" // reply: outcome if known
+	KindDecAck    = "DEC-ACK"    // participant: decision applied durably (GC)
 )
 
 // TxMeta describes a transaction's cohort; the coordinator ships it with
@@ -115,19 +115,56 @@ type TxMeta struct {
 	Participants []int // full cohort, coordinator included
 }
 
-// encodeMeta/decodeMeta gob-serialize TxMeta for message bodies.
+// encodeMeta/decodeMeta serialize TxMeta for message bodies with a flat
+// varint layout (coordinator, participant count, participants). The commit
+// hot path encodes a meta per message, so this avoids the per-call encoder
+// allocations and reflection of a generic codec.
 func encodeMeta(m TxMeta) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		panic(fmt.Sprintf("engine: encode meta: %v", err)) // cannot fail for this type
+	buf := make([]byte, 0, 2+2*len(m.Participants))
+	buf = binary.AppendUvarint(buf, uint64(m.Coordinator))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Participants)))
+	for _, p := range m.Participants {
+		buf = binary.AppendUvarint(buf, uint64(p))
 	}
-	return buf.Bytes()
+	return buf
+}
+
+var errBadMeta = errors.New("engine: malformed transaction metadata")
+
+// readMeta decodes a TxMeta from the front of p, returning the bytes
+// consumed.
+func readMeta(p []byte) (TxMeta, int, error) {
+	var m TxMeta
+	coord, n := binary.Uvarint(p)
+	if n <= 0 {
+		return TxMeta{}, 0, errBadMeta
+	}
+	off := n
+	cnt, n := binary.Uvarint(p[off:])
+	if n <= 0 || cnt > uint64(len(p)) {
+		return TxMeta{}, 0, errBadMeta
+	}
+	off += n
+	m.Coordinator = int(coord)
+	m.Participants = make([]int, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		v, n := binary.Uvarint(p[off:])
+		if n <= 0 {
+			return TxMeta{}, 0, errBadMeta
+		}
+		off += n
+		m.Participants = append(m.Participants, int(v))
+	}
+	return m, off, nil
 }
 
 func decodeMeta(p []byte) (TxMeta, error) {
-	var m TxMeta
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&m); err != nil {
-		return TxMeta{}, fmt.Errorf("engine: decode meta: %w", err)
+	m, n, err := readMeta(p)
+	if err != nil {
+		return TxMeta{}, err
+	}
+	if n != len(p) {
+		return TxMeta{}, errBadMeta
 	}
 	return m, nil
 }
@@ -171,6 +208,7 @@ type txState struct {
 	coordinator bool
 	votes       map[int]bool // coordinator: YES votes received
 	acks        map[int]bool // coordinator: ACKs received
+	decAcks     map[int]bool // coordinator: DEC-ACKs received (auto-forget)
 	ownYes      bool         // coordinator: local prepare succeeded
 	noVote      bool         // coordinator: some participant voted NO
 
@@ -221,6 +259,17 @@ type Config struct {
 	// failure and (for participants) invoking the termination protocol.
 	// Zero means 200ms.
 	Timeout time.Duration
+	// ForgetAfter, when positive, garbage-collects resolved transactions
+	// in the central-site paradigm: a participant acknowledges the
+	// decision (DEC-ACK) once its outcome record is durable and forgets
+	// the transaction after this grace period; the coordinator re-sends
+	// the decision until every participant has acknowledged it — crashed
+	// participants included, which re-acknowledge after recovery — and
+	// only then forgets, so some site always knows the outcome while
+	// anyone may still ask. Zero keeps transactions until Site.Forget is
+	// called. Decentralized (peer) transactions have no acknowledgement
+	// collection point and are never auto-forgotten.
+	ForgetAfter time.Duration
 	// Clock supplies time to every protocol path (timers, deadlines). Nil
 	// means the wall clock; deterministic simulation (internal/dst) injects
 	// a virtual clock so timeouts fire only when the simulation advances it.
@@ -246,21 +295,26 @@ type Config struct {
 // Site executes commit protocols for one node. Create with New, start with
 // Start, and stop with Stop (graceful) or Crash (fault injection).
 type Site struct {
-	id        int
-	ep        transport.Endpoint
-	log       wal.Log
-	res       Resource
-	det       failure.Detector
-	kind      ProtocolKind
-	timeout   time.Duration
-	clk       clock.Clock
-	determin  bool
-	unhandled func(transport.Message)
-	trace     *trace.Recorder
+	id          int
+	ep          transport.Endpoint
+	log         wal.Log
+	slog        wal.StagedLog // non-nil: group-commit staging is active
+	res         Resource
+	det         failure.Detector
+	kind        ProtocolKind
+	timeout     time.Duration
+	forgetAfter time.Duration
+	clk         clock.Clock
+	determin    bool
+	unhandled   func(transport.Message)
+	trace       *trace.Recorder
 
-	mu      sync.Mutex
-	txns    map[string]*txState
-	stopped bool
+	mu       sync.Mutex
+	txns     map[string]*txState
+	pending  []*actGroup // actions deferred behind staged WAL records (FIFO)
+	arrivals map[string]*arrival
+	live     bool // Start has run; staged logging may be used
+	stopped  bool
 
 	events chan event
 	quit   chan struct{}
@@ -273,6 +327,27 @@ type event struct {
 	timeout string // txid whose timer fired
 	crashed int    // site reported crashed by the detector
 	vote    *voteResult
+	durable *actGroup // a staged WAL record's batch became durable
+}
+
+// actGroup collects the externally visible actions deferred behind one
+// staged WAL record: message sends, resource commits/aborts and waiter
+// wakeups attach to the newest staged record and run only once that
+// record's batch is durable, in staging order. This is what lets the
+// engine pipeline many transactions through one group-committed log
+// without ever acting on a state change that could still be lost — the
+// paper's force-before-act discipline, enforced at batch granularity.
+type actGroup struct {
+	acts    []func()
+	durable bool
+	err     error
+}
+
+// arrival wakes WaitOutcome callers waiting for a transaction this site
+// has not heard of yet.
+type arrival struct {
+	ch   chan struct{}
+	refs int
 }
 
 // voteResult carries a Resource.Prepare outcome back onto the event loop.
@@ -292,17 +367,26 @@ type votePayload struct {
 }
 
 func encodeVotePayload(meta TxMeta, redo []byte) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(votePayload{Meta: meta, Redo: redo}); err != nil {
-		panic(fmt.Sprintf("engine: encode vote payload: %v", err))
-	}
-	return buf.Bytes()
+	mb := encodeMeta(meta)
+	buf := make([]byte, 0, 2+len(mb)+len(redo))
+	buf = binary.AppendUvarint(buf, uint64(len(mb)))
+	buf = append(buf, mb...)
+	buf = append(buf, redo...)
+	return buf
 }
 
 func decodeVotePayload(p []byte) (votePayload, error) {
-	var v votePayload
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
-		return votePayload{}, fmt.Errorf("engine: decode vote payload: %w", err)
+	ml, n := binary.Uvarint(p)
+	if n <= 0 || ml > uint64(len(p)-n) {
+		return votePayload{}, errBadMeta
+	}
+	meta, err := decodeMeta(p[n : n+int(ml)])
+	if err != nil {
+		return votePayload{}, err
+	}
+	v := votePayload{Meta: meta}
+	if rest := p[n+int(ml):]; len(rest) > 0 {
+		v.Redo = append([]byte(nil), rest...)
 	}
 	return v, nil
 }
@@ -321,20 +405,28 @@ func New(cfg Config) (*Site, error) {
 		clk = clock.Wall
 	}
 	s := &Site{
-		id:        cfg.ID,
-		ep:        cfg.Endpoint,
-		log:       cfg.Log,
-		res:       cfg.Resource,
-		det:       cfg.Detector,
-		kind:      cfg.Protocol,
-		timeout:   to,
-		clk:       clk,
-		determin:  cfg.Deterministic,
-		unhandled: cfg.Unhandled,
-		trace:     cfg.Trace,
-		txns:      map[string]*txState{},
-		events:    make(chan event, 1024),
-		quit:      make(chan struct{}),
+		id:          cfg.ID,
+		ep:          cfg.Endpoint,
+		log:         cfg.Log,
+		res:         cfg.Resource,
+		det:         cfg.Detector,
+		kind:        cfg.Protocol,
+		timeout:     to,
+		forgetAfter: cfg.ForgetAfter,
+		clk:         clk,
+		determin:    cfg.Deterministic,
+		unhandled:   cfg.Unhandled,
+		trace:       cfg.Trace,
+		txns:        map[string]*txState{},
+		arrivals:    map[string]*arrival{},
+		events:      make(chan event, 1024),
+		quit:        make(chan struct{}),
+	}
+	// Group commit needs real concurrency: the deterministic simulator
+	// processes everything on one goroutine and must observe each append
+	// synchronously, so staging is only used outside deterministic mode.
+	if sl, ok := cfg.Log.(wal.StagedLog); ok && !cfg.Deterministic {
+		s.slog = sl
 	}
 	return s, nil
 }
@@ -346,6 +438,9 @@ func (s *Site) ID() int { return s.id }
 // deterministic mode no goroutine is started: events are processed
 // synchronously as the simulation driver injects them.
 func (s *Site) Start() {
+	s.mu.Lock()
+	s.live = true
+	s.mu.Unlock()
 	s.det.Watch(func(site int) {
 		s.dispatch(event{crashed: site})
 	})
@@ -446,6 +541,8 @@ func (s *Site) handleEvent(ev event) {
 		s.handleTimeout(ev.timeout)
 	case ev.crashed != 0:
 		s.handleCrash(ev.crashed)
+	case ev.durable != nil:
+		s.onDurable(ev.durable)
 	case ev.vote != nil:
 		switch {
 		case ev.vote.own:
@@ -485,6 +582,8 @@ func (s *Site) handleMessage(m transport.Message) {
 		s.onDecideReq(m)
 	case KindDecideRes:
 		s.onDecideRes(m)
+	case KindDecAck:
+		s.onDecAck(m)
 	case KindDXact:
 		s.onDXact(m)
 	case KindDYes, KindDNo:
@@ -499,9 +598,49 @@ func (s *Site) handleMessage(m transport.Message) {
 }
 
 // send transmits a protocol message, ignoring delivery failures (crash-stop
-// losses are handled by timeouts and the termination protocol).
+// losses are handled by timeouts and the termination protocol). While any
+// staged WAL record is awaiting durability the message is deferred behind
+// it: what we say to other sites must never outrun what we have forced to
+// stable storage. Requires s.mu held.
 func (s *Site) send(to int, kind, txid string, body []byte) {
-	_ = s.ep.Send(transport.Message{To: to, Kind: kind, TxID: txid, Body: body})
+	m := transport.Message{To: to, Kind: kind, TxID: txid, Body: body}
+	s.act(func() { _ = s.ep.Send(m) })
+}
+
+// act runs fn now when nothing is pending durability, and otherwise
+// attaches it to the newest staged WAL record so it runs — on the event
+// loop, in order — once that record's batch is durable. fn must not take
+// s.mu. Requires s.mu held.
+func (s *Site) act(fn func()) {
+	if n := len(s.pending); n > 0 {
+		g := s.pending[n-1]
+		g.acts = append(g.acts, fn)
+		return
+	}
+	fn()
+}
+
+// onDurable runs on the event loop when a staged record's batch became
+// durable; it releases the deferred actions of every group up to the
+// newest durable one, preserving FIFO order.
+func (s *Site) onDurable(g *actGroup) {
+	if g.err != nil {
+		panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, g.err))
+	}
+	s.mu.Lock()
+	g.durable = true
+	var run []func()
+	for len(s.pending) > 0 && s.pending[0].durable {
+		run = append(run, s.pending[0].acts...)
+		s.pending = s.pending[1:]
+	}
+	if len(s.pending) == 0 {
+		s.pending = nil
+	}
+	s.mu.Unlock()
+	for _, fn := range run {
+		fn()
+	}
 }
 
 // record emits a trace event if tracing is enabled.
@@ -512,9 +651,26 @@ func (s *Site) record(kind, txid, note string) {
 }
 
 // mustLog forces a WAL record; a stable-storage failure is fatal for the
-// site (it can no longer uphold its guarantees), surfaced as a panic in this
-// reference implementation.
+// site (it can no longer uphold its guarantees), surfaced as a panic in
+// this reference implementation.
+//
+// With a group-committing log the record is only staged: volatile protocol
+// state may advance immediately, but every externally visible action of
+// this handler (and of later handlers) is deferred via act() until the
+// record's batch is durable, so the event loop keeps processing — and
+// staging further records into the same batch — while the fsync runs.
+// Before Start (recovery) and in deterministic mode the append is
+// synchronous. Requires s.mu held.
 func (s *Site) mustLog(rec wal.Record) {
+	if s.slog != nil && s.live {
+		g := &actGroup{}
+		s.pending = append(s.pending, g)
+		s.slog.AppendStaged(rec, func(_ uint64, err error) {
+			g.err = err
+			s.dispatch(event{durable: g})
+		})
+		return
+	}
 	if _, err := s.log.Append(rec); err != nil {
 		panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, err))
 	}
@@ -556,41 +712,70 @@ func (s *Site) Outcome(txid string) (Outcome, error) {
 
 // WaitOutcome blocks until the transaction resolves locally or the timeout
 // elapses. A transaction this site has not heard of yet is waited for (its
-// VOTE-REQ may still be in flight). A blocked 2PC transaction keeps
-// WaitOutcome waiting (it may unblock when the coordinator recovers); use
-// Outcome to poll for ErrBlocked.
+// VOTE-REQ may still be in flight) through an arrival notification — no
+// polling. A blocked 2PC transaction keeps WaitOutcome waiting (it may
+// unblock when the coordinator recovers); use Outcome to poll for
+// ErrBlocked. The result is read from the transaction record itself, so it
+// stays correct even if the site auto-forgets the transaction the moment
+// it settles.
 func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) {
-	deadline := s.clk.Now().Add(timeout)
+	deadline := s.clk.After(timeout)
 	for {
 		s.mu.Lock()
 		t, ok := s.txns[txid]
-		var done chan struct{}
 		if ok {
-			done = t.done
-		}
-		s.mu.Unlock()
-
-		if !ok {
-			// Not heard of yet: poll briefly for it to appear.
-			if s.clk.Now().After(deadline) {
-				return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
-			}
+			done := t.done
+			s.mu.Unlock()
 			select {
-			case <-s.clk.After(time.Millisecond):
-				continue
+			case <-done:
+			case <-deadline:
 			case <-s.quit:
 				return OutcomePending, ErrStopped
 			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			switch t.phase {
+			case phaseCommitted:
+				return OutcomeCommitted, nil
+			case phaseAborted:
+				return OutcomeAborted, nil
+			default:
+				if t.blocked {
+					return OutcomePending, ErrBlocked
+				}
+				return OutcomePending, nil
+			}
 		}
+		a := s.arrivals[txid]
+		if a == nil {
+			a = &arrival{ch: make(chan struct{})}
+			s.arrivals[txid] = a
+		}
+		a.refs++
+		s.mu.Unlock()
 		select {
-		case <-done:
-			return s.Outcome(txid)
-		case <-s.clk.After(deadline.Sub(s.clk.Now())):
-			return s.Outcome(txid)
+		case <-a.ch:
+			s.releaseArrival(txid, a)
+		case <-deadline:
+			s.releaseArrival(txid, a)
+			return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
 		case <-s.quit:
+			s.releaseArrival(txid, a)
 			return OutcomePending, ErrStopped
 		}
 	}
+}
+
+// releaseArrival drops one waiter's interest in a transaction's arrival,
+// removing the notification entry with the last reference so unknown
+// transaction IDs cannot accumulate.
+func (s *Site) releaseArrival(txid string, a *arrival) {
+	s.mu.Lock()
+	a.refs--
+	if a.refs == 0 && s.arrivals[txid] == a {
+		delete(s.arrivals, txid)
+	}
+	s.mu.Unlock()
 }
 
 // Phase returns the canonical local state letter (q/w/p/c/a) of the
@@ -605,33 +790,39 @@ func (s *Site) Phase(txid string) string {
 	return "?"
 }
 
-// resolve finishes a transaction locally: applies the outcome to the
-// resource, stops timers, and wakes waiters. Requires s.mu held.
+// resolve finishes a transaction locally: forces the outcome record, then
+// applies the outcome to the resource and wakes waiters — both deferred
+// behind the record's durability when the log group-commits, because they
+// are externally visible (a woken client may immediately read the data).
+// Requires s.mu held.
 func (s *Site) resolve(t *txState, o Outcome) {
 	if t.resolved() {
 		return
 	}
+	id, redo, detached := t.id, t.redo, t.detached
 	if o == OutcomeCommitted {
 		s.record("commit", t.id, "")
 		s.mustLog(wal.Record{Type: wal.RecCommitted, TxID: t.id, Payload: t.redo})
 		t.phase = phaseCommitted
-		if t.detached {
-			// The resource no longer tracks this transaction (it was
-			// rebuilt by recovery); apply the redo image directly.
-			if len(t.redo) > 0 {
-				if err := s.res.ApplyRedo(t.redo); err != nil {
-					panic(fmt.Sprintf("engine: site %d cannot redo %s: %v", s.id, t.id, err))
+		s.act(func() {
+			if detached {
+				// The resource no longer tracks this transaction (it was
+				// rebuilt by recovery); apply the redo image directly.
+				if len(redo) > 0 {
+					if err := s.res.ApplyRedo(redo); err != nil {
+						panic(fmt.Sprintf("engine: site %d cannot redo %s: %v", s.id, id, err))
+					}
 				}
+			} else if err := s.res.Commit(id, redo); err != nil {
+				panic(fmt.Sprintf("engine: site %d cannot commit prepared transaction %s: %v", s.id, id, err))
 			}
-		} else if err := s.res.Commit(t.id, t.redo); err != nil {
-			panic(fmt.Sprintf("engine: site %d cannot commit prepared transaction %s: %v", s.id, t.id, err))
-		}
+		})
 	} else {
 		s.record("abort", t.id, "")
 		s.mustLog(wal.Record{Type: wal.RecAborted, TxID: t.id})
 		t.phase = phaseAborted
 		if !t.detached {
-			_ = s.res.Abort(t.id) // aborts are idempotent
+			s.act(func() { _ = s.res.Abort(id) }) // aborts are idempotent
 		}
 	}
 	t.blocked = false
@@ -639,7 +830,9 @@ func (s *Site) resolve(t *txState, o Outcome) {
 		t.timer.Stop()
 		t.timer = nil
 	}
-	close(t.done)
+	done := t.done
+	s.act(func() { close(done) })
+	s.scheduleGC(t)
 }
 
 // tx returns (creating if needed) the transaction record. Requires s.mu
@@ -649,6 +842,10 @@ func (s *Site) tx(txid string) *txState {
 	if !ok {
 		t = &txState{id: txid, phase: phaseInit, done: make(chan struct{})}
 		s.txns[txid] = t
+		if a, ok := s.arrivals[txid]; ok {
+			close(a.ch)
+			delete(s.arrivals, txid)
+		}
 	}
 	return t
 }
@@ -668,11 +865,7 @@ func (s *Site) Forget(txid string) error {
 		return fmt.Errorf("engine: site %d cannot forget unresolved transaction %s (phase %s)",
 			s.id, txid, t.phase)
 	}
-	s.mustLog(wal.Record{Type: wal.RecEnd, TxID: txid})
-	if t.timer != nil {
-		t.timer.Stop()
-	}
-	delete(s.txns, txid)
+	s.forgetLocked(t)
 	return nil
 }
 

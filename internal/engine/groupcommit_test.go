@@ -1,0 +1,579 @@
+package engine_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nbcommit/internal/engine"
+	"nbcommit/internal/failure"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// gatedLog is a StagedLog for tests: records of the gated type are held in
+// memory — neither written nor acknowledged — until release() (the fsync
+// completes) or discard() (the site crashes before the batch reached disk).
+// Everything else goes straight through to the inner MemoryLog.
+type gatedLog struct {
+	mu    sync.Mutex
+	inner *wal.MemoryLog
+	gates map[wal.RecordType]bool
+	held  []heldRec
+}
+
+type heldRec struct {
+	rec wal.Record
+	fn  func(uint64, error)
+}
+
+func newGatedLog(gate ...wal.RecordType) *gatedLog {
+	g := &gatedLog{inner: wal.NewMemoryLog(), gates: map[wal.RecordType]bool{}}
+	for _, t := range gate {
+		g.gates[t] = true
+	}
+	return g
+}
+
+func (g *gatedLog) Append(rec wal.Record) (uint64, error) { return g.inner.Append(rec) }
+func (g *gatedLog) Records() ([]wal.Record, error)        { return g.inner.Records() }
+func (g *gatedLog) Close() error                          { return g.inner.Close() }
+
+func (g *gatedLog) AppendStaged(rec wal.Record, fn func(uint64, error)) {
+	g.mu.Lock()
+	if g.gates[rec.Type] {
+		g.held = append(g.held, heldRec{rec, fn})
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	lsn, err := g.inner.Append(rec)
+	fn(lsn, err)
+}
+
+// release makes the held batch durable and runs the callbacks, like a slow
+// fsync finally completing.
+func (g *gatedLog) release() {
+	g.mu.Lock()
+	held := g.held
+	g.held = nil
+	g.gates = map[wal.RecordType]bool{}
+	g.mu.Unlock()
+	for _, h := range held {
+		lsn, err := g.inner.Append(h.rec)
+		h.fn(lsn, err)
+	}
+}
+
+// discard loses the held batch, like a crash before the fsync completed.
+// The callbacks never run, and the gate lifts (the restarted site gets a
+// normally-functioning log).
+func (g *gatedLog) discard() {
+	g.mu.Lock()
+	g.held = nil
+	g.gates = map[wal.RecordType]bool{}
+	g.mu.Unlock()
+}
+
+// gatedCluster wires three sites where site 1 runs on a gatedLog and the
+// rest on plain MemoryLogs.
+type gatedCluster struct {
+	t     *testing.T
+	net   *transport.Network
+	det   *failure.OracleDetector
+	kind  engine.ProtocolKind
+	gated *gatedLog
+	logs  map[int]wal.Log
+	res   map[int]*testResource
+	sites map[int]*engine.Site
+}
+
+func newGatedCluster(t *testing.T, kind engine.ProtocolKind, gate ...wal.RecordType) *gatedCluster {
+	t.Helper()
+	c := &gatedCluster{
+		t:     t,
+		net:   transport.NewNetwork(),
+		kind:  kind,
+		gated: newGatedLog(gate...),
+		logs:  map[int]wal.Log{},
+		res:   map[int]*testResource{},
+		sites: map[int]*engine.Site{},
+	}
+	c.det = failure.NewOracle(c.net)
+	for i := 1; i <= 3; i++ {
+		if i == 1 {
+			c.logs[i] = c.gated
+		} else {
+			c.logs[i] = wal.NewMemoryLog()
+		}
+		c.res[i] = newTestResource()
+		s, err := engine.New(engine.Config{
+			ID:       i,
+			Endpoint: c.net.Endpoint(i),
+			Log:      c.logs[i],
+			Resource: c.res[i],
+			Detector: c.det,
+			Protocol: kind,
+			Timeout:  testTimeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.sites[i] = s
+		s.Start()
+	}
+	t.Cleanup(func() {
+		for _, s := range c.sites {
+			s.Stop()
+		}
+	})
+	return c
+}
+
+func (c *gatedCluster) waitPhase(id int, txid, phase string) {
+	c.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.sites[id].Phase(txid) == phase {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.t.Fatalf("site %d tx %s: phase %s never reached (now %s)",
+		id, txid, phase, c.sites[id].Phase(txid))
+}
+
+func (c *gatedCluster) expect(txid string, want engine.Outcome, siteIDs ...int) {
+	c.t.Helper()
+	for _, id := range siteIDs {
+		got, err := c.sites[id].WaitOutcome(txid, 5*time.Second)
+		if err != nil {
+			c.t.Fatalf("site %d tx %s: %v", id, txid, err)
+		}
+		if got != want {
+			c.t.Fatalf("site %d tx %s: outcome %s, want %s", id, txid, got, want)
+		}
+	}
+}
+
+// TestGroupCommitDefersDecision pins force-before-act at batch granularity:
+// while the coordinator's commit record sits in a not-yet-durable batch, no
+// COMMIT message escapes, the local resource is untouched, and waiters stay
+// asleep — the participants sit in w exactly as if the fsync were still
+// running. Releasing the batch lets everything proceed.
+func TestGroupCommitDefersDecision(t *testing.T) {
+	c := newGatedCluster(t, engine.TwoPhase, wal.RecCommitted)
+	if err := c.sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator collects the votes and decides, but its RecCommitted
+	// is gated: the participants must not learn the outcome.
+	c.waitPhase(1, "t1", "c") // volatile state may advance immediately
+	time.Sleep(100 * time.Millisecond)
+	for _, id := range []int{2, 3} {
+		if ph := c.sites[id].Phase("t1"); ph != "w" {
+			t.Fatalf("site %d reached %q while the commit record was not durable", id, ph)
+		}
+	}
+	if c.res[1].didCommit("t1") {
+		t.Fatal("coordinator resource committed before the record was durable")
+	}
+	if o, err := c.sites[1].Outcome("t1"); err != nil || o != engine.OutcomeCommitted {
+		// Volatile phase is c; Outcome may report it, that is fine — but it
+		// must not error.
+		if err != nil {
+			t.Fatalf("coordinator outcome: %v", err)
+		}
+		_ = o
+	}
+
+	c.gated.release()
+	c.expect("t1", engine.OutcomeCommitted, 1, 2, 3)
+	if !c.res[1].didCommit("t1") {
+		t.Fatal("coordinator resource did not commit after release")
+	}
+}
+
+// TestGroupCommitCrashMidBatch3PC loses the coordinator's staged commit
+// record mid-batch (crash before the fsync) after the cohort prepared: no
+// site may have acted on the non-durable record, so the termination
+// protocol decides from p — and the recovered coordinator, whose log ends
+// at prepared, resolves the same way. One consistent outcome everywhere.
+func TestGroupCommitCrashMidBatch3PC(t *testing.T) {
+	c := newGatedCluster(t, engine.ThreePhase, wal.RecCommitted)
+	if err := c.sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c.waitPhase(2, "t1", "p")
+	c.waitPhase(3, "t1", "p")
+	c.waitPhase(1, "t1", "c") // decided in volatile state only
+	if c.res[1].didCommit("t1") {
+		t.Fatal("resource acted on a non-durable commit record")
+	}
+
+	// Crash before the batch reaches disk: the staged record is lost.
+	c.gated.discard()
+	c.net.Crash(1)
+	c.sites[1].Stop()
+
+	// Participants are in p; the backup coordinator commits from p.
+	c.expect("t1", engine.OutcomeCommitted, 2, 3)
+
+	// The coordinator's log ends at prepared: recovery is in doubt, asks
+	// the cohort, and lands on the same outcome.
+	c.res[1] = newTestResource()
+	s, err := engine.Recover(engine.Config{
+		ID:       1,
+		Endpoint: c.net.Endpoint(1),
+		Log:      c.logs[1],
+		Resource: c.res[1],
+		Detector: c.det,
+		Protocol: engine.ThreePhase,
+		Timeout:  testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sites[1] = s
+	c.expect("t1", engine.OutcomeCommitted, 1)
+	if !c.res[1].didCommit("t1") {
+		t.Fatal("recovered coordinator did not apply the redo image")
+	}
+}
+
+// TestGroupCommitCrashMidBatchBeforePrepare loses the coordinator's staged
+// prepared record: the PREPAREs deferred behind it never escaped, the
+// participants are still in w, and termination must abort — again one
+// consistent outcome, the opposite one.
+func TestGroupCommitCrashMidBatchBeforePrepare(t *testing.T) {
+	c := newGatedCluster(t, engine.ThreePhase, wal.RecPrepared)
+	if err := c.sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c.waitPhase(2, "t1", "w")
+	c.waitPhase(3, "t1", "w")
+	// Give the coordinator time to collect votes and stage its prepared
+	// record; the PREPAREs must stay behind the gate.
+	time.Sleep(50 * time.Millisecond)
+	for _, id := range []int{2, 3} {
+		if ph := c.sites[id].Phase("t1"); ph != "w" {
+			t.Fatalf("site %d reached %q behind a non-durable prepared record", id, ph)
+		}
+	}
+
+	c.gated.discard()
+	c.net.Crash(1)
+	c.sites[1].Stop()
+	c.expect("t1", engine.OutcomeAborted, 2, 3)
+
+	c.res[1] = newTestResource()
+	s, err := engine.Recover(engine.Config{
+		ID:       1,
+		Endpoint: c.net.Endpoint(1),
+		Log:      c.logs[1],
+		Resource: c.res[1],
+		Detector: c.det,
+		Protocol: engine.ThreePhase,
+		Timeout:  testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sites[1] = s
+	c.expect("t1", engine.OutcomeAborted, 1)
+	if c.res[1].didCommit("t1") {
+		t.Fatal("recovered coordinator committed an aborted transaction")
+	}
+}
+
+// TestGroupCommitVoteReqWaitsForBeginRecord: with the begin record gated,
+// no VOTE-REQ escapes — were the coordinator to crash, the cohort must
+// never have heard of a transaction its recovered log does not know.
+func TestGroupCommitVoteReqWaitsForBeginRecord(t *testing.T) {
+	c := newGatedCluster(t, engine.TwoPhase, wal.RecBegin)
+	if err := c.sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	for _, id := range []int{2, 3} {
+		if ph := c.sites[id].Phase("t1"); ph != "?" {
+			t.Fatalf("site %d heard of t1 (phase %q) before the begin record was durable", id, ph)
+		}
+	}
+	c.gated.release()
+	c.expect("t1", engine.OutcomeCommitted, 1, 2, 3)
+}
+
+// TestEnginePipelinesOverFileLog runs many concurrent transactions over a
+// real group-committing file log with sync enabled: all must commit, and
+// the per-site logs must show coalesced batches (more than one record per
+// fsync), proving the event loop keeps staging while a flush is in flight.
+func TestEnginePipelinesOverFileLog(t *testing.T) {
+	dir := t.TempDir()
+	net := transport.NewNetwork()
+	det := failure.NewOracle(net)
+	var batchMu sync.Mutex
+	maxBatch := 0
+	sites := map[int]*engine.Site{}
+	for i := 1; i <= 3; i++ {
+		l, err := wal.OpenFileLog(filepath.Join(dir, fmt.Sprintf("site%d.wal", i)), wal.FileLogOptions{
+			Metrics: wal.Metrics{BatchRecords: func(n int) {
+				batchMu.Lock()
+				if n > maxBatch {
+					maxBatch = n
+				}
+				batchMu.Unlock()
+			}},
+			// A small window guarantees coalescing even on hardware where
+			// the fsync itself is too fast to build a backlog.
+			FlushInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		s, err := engine.New(engine.Config{
+			ID:       i,
+			Endpoint: net.Endpoint(i),
+			Log:      l,
+			Resource: newTestResource(),
+			Detector: det,
+			Protocol: engine.ThreePhase,
+			Timeout:  500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		s.Start()
+		defer s.Stop()
+	}
+
+	const clients, perClient = 16, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				txid := fmt.Sprintf("t-%d-%d", cl, i)
+				if err := sites[1].Begin(txid, []int{1, 2, 3}); err != nil {
+					errs <- err
+					return
+				}
+				o, err := sites[1].WaitOutcome(txid, 10*time.Second)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", txid, err)
+					return
+				}
+				if o != engine.OutcomeCommitted {
+					errs <- fmt.Errorf("%s: outcome %s", txid, o)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	if maxBatch < 2 {
+		t.Fatalf("no batch held more than one record (max %d); group commit did not coalesce", maxBatch)
+	}
+}
+
+// TestAutoForget: with ForgetAfter set, every site garbage-collects settled
+// transactions — the coordinator once the whole cohort acknowledged the
+// decision, participants after the grace period — and the WAL gains end
+// records so recovery (and compaction) skip them. This is the leak fix: a
+// long-lived site's transaction table returns to empty.
+func TestAutoForget(t *testing.T) {
+	net := transport.NewNetwork()
+	det := failure.NewOracle(net)
+	logs := map[int]*wal.MemoryLog{}
+	res := map[int]*testResource{}
+	sites := map[int]*engine.Site{}
+	for i := 1; i <= 3; i++ {
+		logs[i] = wal.NewMemoryLog()
+		res[i] = newTestResource()
+		s, err := engine.New(engine.Config{
+			ID:          i,
+			Endpoint:    net.Endpoint(i),
+			Log:         logs[i],
+			Resource:    res[i],
+			Detector:    det,
+			Protocol:    engine.TwoPhase,
+			Timeout:     testTimeout,
+			ForgetAfter: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		s.Start()
+		defer s.Stop()
+	}
+
+	res[2].refuse("ta") // one aborted, one committed
+	for _, txid := range []string{"tc", "ta"} {
+		if err := sites[1].Begin(txid, []int{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o, err := sites[1].WaitOutcome("tc", 5*time.Second); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("tc = %v, %v", o, err)
+	}
+	if o, err := sites[1].WaitOutcome("ta", 5*time.Second); err != nil || o != engine.OutcomeAborted {
+		t.Fatalf("ta = %v, %v", o, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		empty := true
+		for i := 1; i <= 3; i++ {
+			if len(sites[i].Transactions()) != 0 {
+				empty = false
+			}
+		}
+		if empty {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i := 1; i <= 3; i++ {
+				t.Logf("site %d still tracks %v", i, sites[i].Transactions())
+			}
+			t.Fatal("transactions were not garbage-collected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Every site's WAL must carry end records so recovery skips both
+	// transactions entirely.
+	for i := 1; i <= 3; i++ {
+		recs, err := logs[i].Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends := map[string]bool{}
+		for _, r := range recs {
+			if r.Type == wal.RecEnd {
+				ends[r.TxID] = true
+			}
+		}
+		for _, txid := range []string{"tc", "ta"} {
+			if !ends[txid] {
+				t.Fatalf("site %d has no end record for %s", i, txid)
+			}
+		}
+	}
+
+	// The committed data survived the forgetting.
+	for i := 1; i <= 3; i++ {
+		if !res[i].didCommit("tc") {
+			t.Fatalf("site %d lost the committed effects", i)
+		}
+	}
+}
+
+// TestAutoForgetReachesCrashedParticipant: a participant that was down when
+// the decision went out still acknowledges after recovery, letting the
+// coordinator forget; the recovered participant then forgets on its own.
+func TestAutoForgetReachesCrashedParticipant(t *testing.T) {
+	net := transport.NewNetwork()
+	det := failure.NewOracle(net)
+	logs := map[int]*wal.MemoryLog{}
+	res := map[int]*testResource{}
+	sites := map[int]*engine.Site{}
+	mk := func(i int, recover bool) {
+		res[i] = newTestResource()
+		cfg := engine.Config{
+			ID:          i,
+			Endpoint:    net.Endpoint(i),
+			Log:         logs[i],
+			Resource:    res[i],
+			Detector:    det,
+			Protocol:    engine.ThreePhase,
+			Timeout:     testTimeout,
+			ForgetAfter: 25 * time.Millisecond,
+		}
+		var s *engine.Site
+		var err error
+		if recover {
+			s, err = engine.Recover(cfg)
+		} else {
+			s, err = engine.New(cfg)
+			if err == nil {
+				s.Start()
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+	}
+	for i := 1; i <= 3; i++ {
+		logs[i] = wal.NewMemoryLog()
+		mk(i, false)
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Stop()
+		}
+	}()
+
+	// Site 3 votes YES then crashes before hearing the decision.
+	net.SetDropFunc(func(m transport.Message) bool {
+		return m.To == 3 && m.Kind == engine.KindPrepare
+	})
+	if err := sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitSitePhase(t, sites[3], "t1", "w")
+	net.Crash(3)
+	sites[3].Stop()
+	net.SetDropFunc(nil)
+	if o, err := sites[1].WaitOutcome("t1", 5*time.Second); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("t1 = %v, %v", o, err)
+	}
+
+	// The coordinator must keep the outcome while site 3 is down (its
+	// DEC-ACK is missing), then forget once the recovered site acknowledges.
+	time.Sleep(80 * time.Millisecond)
+	if got := sites[1].Transactions(); len(got) != 1 {
+		t.Fatalf("coordinator forgot t1 with a participant still unacknowledged: %v", got)
+	}
+
+	mk(3, true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(sites[1].Transactions()) == 0 && len(sites[3].Transactions()) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("not garbage-collected: coordinator %v, recovered %v",
+				sites[1].Transactions(), sites[3].Transactions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !res[3].didCommit("t1") {
+		t.Fatal("recovered participant did not apply the commit")
+	}
+}
+
+func waitSitePhase(t *testing.T, s *engine.Site, txid, phase string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Phase(txid) == phase {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("site %d tx %s: phase %s never reached (now %s)", s.ID(), txid, phase, s.Phase(txid))
+}

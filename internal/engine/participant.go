@@ -86,9 +86,14 @@ func (s *Site) onDecision(m transport.Message, o Outcome) {
 	t, ok := s.txns[m.TxID]
 	if !ok {
 		if o == OutcomeCommitted {
-			// A commit for a transaction we never saw can only follow a
-			// lost VOTE-REQ — and then we never voted YES, so no correct
-			// cohort commits. Ignore rather than corrupt state.
+			// A commit for a transaction we never saw can only follow a lost
+			// VOTE-REQ (we never voted YES, so no correct cohort commits) —
+			// or, with auto-forget on, a decision re-sent after we already
+			// applied it durably and forgot. Acknowledge so the coordinator
+			// can stop, but never build state from it.
+			if s.forgetAfter > 0 {
+				s.send(m.From, KindDecAck, m.TxID, nil)
+			}
 			return
 		}
 		// Abort for an unknown transaction: record it so repeated queries
@@ -97,9 +102,26 @@ func (s *Site) onDecision(m transport.Message, o Outcome) {
 		t.detached = true
 	}
 	if t.resolved() {
+		// Duplicate decision: with auto-forget on, the sender is most
+		// likely a coordinator still missing our DEC-ACK — re-acknowledge,
+		// and make sure our own grace timer is (re-)armed so the record
+		// does not linger here forever (recovered sites restore resolved
+		// transactions without one).
+		if s.forgetAfter > 0 && !t.peer && !t.coordinator {
+			s.send(m.From, KindDecAck, m.TxID, nil)
+			if t.timer == nil {
+				s.armTimer(t, s.forgetAfter)
+			}
+		}
 		return
 	}
 	s.resolve(t, o)
+	if !ok && s.forgetAfter > 0 && !t.coordinator {
+		// The freshly created detached record has no cohort metadata, so
+		// resolve's scheduleGC could not route the acknowledgement; the
+		// sender of the decision is the one collecting it.
+		s.send(m.From, KindDecAck, m.TxID, nil)
+	}
 }
 
 // handleTimeout drives a transaction whose protocol wait expired.
@@ -107,7 +129,11 @@ func (s *Site) handleTimeout(txid string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[txid]
-	if !ok || t.resolved() {
+	if !ok {
+		return
+	}
+	if t.resolved() {
+		s.gcTimeout(t)
 		return
 	}
 	if t.coordinator {

@@ -73,7 +73,12 @@ func Recover(cfg Config) (*Site, error) {
 		case wal.StatusCommitted, wal.StatusEnded:
 			t.phase = phaseCommitted
 			close(t.done)
-			if img.Coordinator && img.Status != wal.StatusEnded {
+			if img.Status == wal.StatusEnded {
+				// Already garbage-collected before the crash: the cohort
+				// acknowledged the decision, so do not resume the
+				// coordinator's re-send duty for it.
+				t.coordinator = false
+			} else if img.Coordinator {
 				pending = append(pending, rebroadcast{t: t})
 			}
 		case wal.StatusAborted, wal.StatusVotedNo:
@@ -125,6 +130,26 @@ func Recover(cfg Config) (*Site, error) {
 	}
 	for _, t := range inDoubt {
 		s.queryOutcome(t)
+	}
+	if s.forgetAfter > 0 {
+		// Resume garbage collection for resolved transactions that survived
+		// the crash: coordinators re-collect DEC-ACKs, participants forget
+		// after the grace period. Decentralized transactions (known cohort,
+		// no coordinator) stay: with no collection point, forgetting could
+		// strand a recovering peer with nobody who remembers the outcome.
+		for _, id := range ids {
+			t, ok := s.txns[id]
+			if !ok || !t.resolved() {
+				continue
+			}
+			if t.meta.Coordinator == 0 && !t.coordinator && len(t.meta.Participants) > 0 {
+				continue
+			}
+			if t.coordinator && t.decAcks == nil {
+				t.decAcks = map[int]bool{}
+			}
+			s.armTimer(t, s.forgetAfter)
+		}
 	}
 	s.mu.Unlock()
 	return s, nil

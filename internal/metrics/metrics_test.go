@@ -1,10 +1,13 @@
 package metrics
 
 import (
+	"math"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 )
 
 func TestCounter(t *testing.T) {
@@ -76,6 +79,52 @@ func TestTimer(t *testing.T) {
 	timer.Stop()
 	if h.Count() != 1 || h.Max() < time.Millisecond {
 		t.Fatalf("timer sample = %v", h.Max())
+	}
+}
+
+// TestHistogramAccuracy pins the bucketed histogram's error bound against
+// exact order statistics over a skewed distribution spanning several
+// decades (microseconds to hundreds of milliseconds, like commit
+// latencies): every quantile must be within 2% relative error, and the
+// histogram must not grow with the number of samples.
+func TestHistogramAccuracy(t *testing.T) {
+	var h Histogram
+	var samples []time.Duration
+	// Deterministic LCG so the test cannot flake.
+	state := uint64(12345)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < 100000; i++ {
+		// Exponential-ish skew: microseconds with a long tail.
+		d := time.Duration(1000 + next()%1000*next()%300000)
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(samples)))) - 1
+		exact := samples[idx]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.02 {
+			t.Errorf("q=%v: got %v, exact %v (rel err %.4f)", q, got, exact, relErr)
+		}
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	if got, exact := h.Mean(), sum/time.Duration(len(samples)); got != exact {
+		t.Errorf("Mean = %v, exact %v", got, exact)
+	}
+	if h.Min() != samples[0] || h.Max() != samples[len(samples)-1] {
+		t.Errorf("Min/Max = %v/%v, exact %v/%v", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+	}
+	// Bounded memory: the struct size is fixed, independent of sample count.
+	if sz := unsafe.Sizeof(h); sz > 64<<10 {
+		t.Errorf("histogram is %d bytes; expected a fixed size under 64KiB", sz)
 	}
 }
 

@@ -2,29 +2,41 @@ package wal
 
 import (
 	"fmt"
+	"io"
 	"os"
 )
 
-// Compact rewrites a file log, dropping every record of transactions whose
-// replayed status is StatusEnded (fully applied and garbage-collected by the
-// engine via Forget). Recovery time is proportional to log length, so
-// long-running sites should compact periodically.
+// Compact rewrites the log in place, dropping every record of transactions
+// whose replayed status is StatusEnded (fully applied and garbage-collected
+// by the engine via Forget). Recovery time is proportional to log length,
+// so long-running sites should compact periodically.
 //
-// The rewrite is crash-safe: records are written to path+".compact", synced,
-// and atomically renamed over the original. The log must be closed; reopen
-// it after compaction.
-func Compact(path string) (kept, dropped int, err error) {
-	l, err := OpenFileLog(path, FileLogOptions{NoSync: true})
-	if err != nil {
-		return 0, 0, err
+// The log stays open and usable throughout: staged records are flushed
+// first, the surviving records are written to path+".compact", synced, and
+// atomically renamed over the original, and the log's handle is swapped to
+// the new file. Appends staged while the rewrite runs are simply written
+// after the swap. A crash at any point leaves either the old or the new
+// file intact.
+//
+// On-disk LSNs restart from 1 after compaction (they are scan positions);
+// LSNs handed to in-flight appends keep their original values, which only
+// order records within one log generation.
+func (l *FileLog) Compact() (kept, dropped int, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, 0, ErrClosed
 	}
-	recs, err := l.Records()
-	if err != nil {
-		l.Close()
-		return 0, 0, err
-	}
-	l.Close()
+	l.mu.Unlock()
+	l.flush()
 
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+
+	_, recs, err := scan(l.f)
+	if err != nil {
+		return 0, 0, err
+	}
 	ended := map[string]bool{}
 	for tx, img := range Replay(recs) {
 		if img.Status == StatusEnded {
@@ -32,36 +44,52 @@ func Compact(path string) (kept, dropped int, err error) {
 		}
 	}
 
-	tmpPath := path + ".compact"
+	tmpPath := l.path + ".compact"
 	os.Remove(tmpPath)
-	out, err := OpenFileLog(tmpPath, FileLogOptions{NoSync: true})
+	out, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("wal: compact open: %w", err)
 	}
 	for _, r := range recs {
 		if ended[r.TxID] {
 			dropped++
 			continue
 		}
-		if _, err := out.Append(Record{Type: r.Type, TxID: r.TxID, Payload: r.Payload}); err != nil {
+		if _, err := out.Write(frame(r)); err != nil {
 			out.Close()
 			os.Remove(tmpPath)
 			return 0, 0, fmt.Errorf("wal: compact rewrite: %w", err)
 		}
 		kept++
 	}
-	if err := out.f.Sync(); err != nil {
+	if err := out.Sync(); err != nil {
 		out.Close()
 		os.Remove(tmpPath)
 		return 0, 0, fmt.Errorf("wal: compact sync: %w", err)
 	}
-	if err := out.Close(); err != nil {
-		os.Remove(tmpPath)
-		return 0, 0, err
-	}
-	if err := os.Rename(tmpPath, path); err != nil {
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		out.Close()
 		os.Remove(tmpPath)
 		return 0, 0, fmt.Errorf("wal: compact rename: %w", err)
 	}
+	if _, err := out.Seek(0, io.SeekEnd); err != nil {
+		out.Close()
+		return 0, 0, err
+	}
+	old := l.f
+	l.f = out
+	old.Close()
 	return kept, dropped, nil
+}
+
+// Compact rewrites a closed file log at path, dropping ended transactions.
+// It is the offline variant of (*FileLog).Compact, used before a node opens
+// its log for serving.
+func Compact(path string) (kept, dropped int, err error) {
+	l, err := OpenFileLog(path, FileLogOptions{NoSync: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+	return l.Compact()
 }

@@ -9,8 +9,18 @@
 // in doubt).
 //
 // Two implementations are provided: a MemoryLog for tests and simulations,
-// and a FileLog with CRC-protected, length-prefixed records and optional
-// fsync for real deployments. Both tolerate a torn final record.
+// and a FileLog with CRC-protected, length-prefixed records, optional
+// fsync, and group commit for real deployments. Both tolerate a torn final
+// record.
+//
+// Group commit: FileLog.AppendStaged stages a record and returns
+// immediately; a background flusher coalesces everything staged into one
+// write+fsync and then reports durability through per-record callbacks.
+// Concurrent blocking Appends batch the same way (each is a staged append
+// that waits for its callback), so N goroutines appending concurrently
+// share fsyncs instead of serializing on them. The force-before-act
+// discipline is preserved by the caller: it must not act on a state change
+// until the callback fires.
 package wal
 
 import (
@@ -21,6 +31,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // RecordType enumerates the protocol events a site persists.
@@ -87,6 +98,17 @@ type Log interface {
 	Close() error
 }
 
+// StagedLog is a Log supporting asynchronous, group-committed appends. A
+// staged record becomes durable together with its batch; the callback fires
+// exactly once, after the batch's write+fsync completed (or with the error
+// that prevented it). Callbacks for different records fire in LSN order.
+type StagedLog interface {
+	Log
+	// AppendStaged stages rec for the next batch. fn must not call back
+	// into the log; it runs on an internal goroutine.
+	AppendStaged(rec Record, fn func(lsn uint64, err error))
+}
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
@@ -143,8 +165,21 @@ func (l *MemoryLog) Reopen() {
 	l.closed = false
 }
 
-// FileLog is a disk-backed Log. Records are length-prefixed and protected
-// by CRC-32; a torn or corrupt tail is truncated on open.
+// Metrics receives observations from a FileLog's flusher. Nil fields are
+// skipped; the hooks are called on the flushing goroutine and must be fast.
+type Metrics struct {
+	// BatchRecords observes the number of records in each flushed batch.
+	BatchRecords func(n int)
+	// SyncLatency observes the write+fsync duration of each batch.
+	SyncLatency func(d time.Duration)
+}
+
+// FileLog is a disk-backed StagedLog with group commit. Records are
+// length-prefixed and protected by CRC-32; a torn or corrupt tail is
+// truncated on open. Because batches are written front-to-back, a crash
+// mid-batch leaves a clean prefix: every record whose durability callback
+// fired is on disk, and no record is ever missing in front of one that
+// survived.
 //
 // On-disk record layout (little endian):
 //
@@ -152,20 +187,57 @@ func (l *MemoryLog) Reopen() {
 //	uint32 CRC-32 (IEEE) of body
 //	body: uint8 type | uint16 len(txid) | txid | payload
 type FileLog struct {
-	mu    sync.Mutex
-	f     *os.File
-	path  string
-	next  uint64
-	sync  bool
-	recs  []Record // cached, in append order
-	close bool
+	path     string
+	syncOn   bool
+	interval time.Duration
+	maxBatch int
+	metrics  Metrics
+
+	// mu guards staging state: records not yet handed to the flusher, the
+	// LSN counter and the closed flag.
+	mu          sync.Mutex
+	staged      []stagedRec
+	stagedBytes int
+	next        uint64
+	closed      bool
+
+	// wmu guards all file I/O (the handle itself, writes, syncs, scans,
+	// compaction). Batches are written in the order wmu is acquired.
+	wmu sync.Mutex
+	f   *os.File
+
+	// cbmu serializes durability callbacks in batch order: it is acquired
+	// while wmu is still held and released only after the batch's
+	// callbacks ran, so a later batch can never report before an earlier
+	// one.
+	cbmu sync.Mutex
+
+	wake        chan struct{}
+	quit        chan struct{}
+	flusherDone chan struct{}
+}
+
+type stagedRec struct {
+	lsn uint64
+	buf []byte // header + body, ready to write
+	fn  func(lsn uint64, err error)
 }
 
 // FileLogOptions configures a FileLog.
 type FileLogOptions struct {
-	// NoSync disables fsync after each append. Faster, but a crash of the
+	// NoSync disables fsync after each batch. Faster, but a crash of the
 	// host (not just the process) may lose the tail of the log.
 	NoSync bool
+	// FlushInterval bounds how long the flusher gathers a batch after the
+	// first record is staged. Zero flushes as soon as the flusher is free:
+	// batching then arises naturally while a previous batch's fsync is in
+	// progress, adding no latency under light load.
+	FlushInterval time.Duration
+	// MaxBatchBytes splits batches larger than this (a single oversized
+	// record still flushes alone). Zero means 1 MiB.
+	MaxBatchBytes int
+	// Metrics receives batch-size and sync-latency observations.
+	Metrics Metrics
 }
 
 // OpenFileLog opens or creates a file-backed log, replaying any existing
@@ -175,7 +247,6 @@ func OpenFileLog(path string, opts FileLogOptions) (*FileLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &FileLog{f: f, path: path, sync: !opts.NoSync}
 	validLen, recs, err := scan(f)
 	if err != nil {
 		f.Close()
@@ -189,8 +260,23 @@ func OpenFileLog(path string, opts FileLogOptions) (*FileLog, error) {
 		f.Close()
 		return nil, err
 	}
-	l.recs = recs
-	l.next = uint64(len(recs) + 1)
+	maxBatch := opts.MaxBatchBytes
+	if maxBatch <= 0 {
+		maxBatch = 1 << 20
+	}
+	l := &FileLog{
+		path:        path,
+		syncOn:      !opts.NoSync,
+		interval:    opts.FlushInterval,
+		maxBatch:    maxBatch,
+		metrics:     opts.Metrics,
+		f:           f,
+		next:        uint64(len(recs) + 1),
+		wake:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		flusherDone: make(chan struct{}),
+	}
+	go l.flusher()
 	return l, nil
 }
 
@@ -261,60 +347,245 @@ func decodeBody(body []byte) (Record, bool) {
 	return rec, true
 }
 
-// Append implements Log.
-func (l *FileLog) Append(rec Record) (uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.close {
-		return 0, ErrClosed
-	}
-	if len(rec.TxID) > 1<<16-1 {
-		return 0, fmt.Errorf("wal: transaction ID too long (%d bytes)", len(rec.TxID))
-	}
+// frame encodes a record with its on-disk header.
+func frame(rec Record) []byte {
 	body := encodeBody(rec)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: append header: %w", err)
+	buf := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	return append(buf, body...)
+}
+
+// AppendStaged implements StagedLog: the record joins the next batch and fn
+// fires once the batch is durable.
+func (l *FileLog) AppendStaged(rec Record, fn func(lsn uint64, err error)) {
+	if len(rec.TxID) > 1<<16-1 {
+		fn(0, fmt.Errorf("wal: transaction ID too long (%d bytes)", len(rec.TxID)))
+		return
 	}
-	if _, err := l.f.Write(body); err != nil {
-		return 0, fmt.Errorf("wal: append body: %w", err)
+	buf := frame(rec)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		fn(0, ErrClosed)
+		return
 	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: sync: %w", err)
+	lsn := l.next
+	l.next++
+	l.staged = append(l.staged, stagedRec{lsn: lsn, buf: buf, fn: fn})
+	l.stagedBytes += len(buf)
+	l.mu.Unlock()
+	l.signal()
+}
+
+func (l *FileLog) signal() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Append implements Log: a staged append that waits for durability.
+// Concurrent Appends coalesce into shared batches.
+func (l *FileLog) Append(rec Record) (uint64, error) {
+	type result struct {
+		lsn uint64
+		err error
+	}
+	ch := make(chan result, 1)
+	l.AppendStaged(rec, func(lsn uint64, err error) { ch <- result{lsn, err} })
+	r := <-ch
+	return r.lsn, r.err
+}
+
+// flusher is the background goroutine turning staged records into batches.
+func (l *FileLog) flusher() {
+	defer close(l.flusherDone)
+	for {
+		select {
+		case <-l.quit:
+			l.flush() // drain whatever was staged before Close
+			return
+		case <-l.wake:
+		}
+		if l.interval > 0 {
+			l.gather()
+		}
+		l.flush()
+	}
+}
+
+// gather waits up to FlushInterval for more records, leaving early when the
+// batch fills or the log closes.
+func (l *FileLog) gather() {
+	t := time.NewTimer(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-t.C:
+			return
+		case <-l.wake:
+			l.mu.Lock()
+			full := l.stagedBytes >= l.maxBatch
+			l.mu.Unlock()
+			if full {
+				return
+			}
 		}
 	}
-	rec.LSN = l.next
-	l.next++
-	rec.Payload = append([]byte(nil), rec.Payload...)
-	l.recs = append(l.recs, rec)
-	return rec.LSN, nil
 }
 
-// Records implements Log.
+// flush writes one batch: everything currently staged, up to MaxBatchBytes.
+// Any goroutine may call it (the flusher, Records, SyncNow, Close); wmu
+// orders the writes and cbmu orders the callbacks.
+func (l *FileLog) flush() {
+	l.wmu.Lock()
+	l.mu.Lock()
+	n, nbytes := 0, 0
+	for n < len(l.staged) && (n == 0 || nbytes+len(l.staged[n].buf) <= l.maxBatch) {
+		nbytes += len(l.staged[n].buf)
+		n++
+	}
+	batch := l.staged[:n:n]
+	l.staged = l.staged[n:]
+	if len(l.staged) == 0 {
+		l.staged = nil // release the drained backing array
+	}
+	l.stagedBytes -= nbytes
+	remaining := len(l.staged) > 0
+	l.mu.Unlock()
+	if len(batch) == 0 {
+		l.wmu.Unlock()
+		return
+	}
+
+	buf := make([]byte, 0, nbytes)
+	for _, r := range batch {
+		buf = append(buf, r.buf...)
+	}
+	start := time.Now()
+	_, err := l.f.Write(buf)
+	if err == nil && l.syncOn {
+		err = l.f.Sync()
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		err = fmt.Errorf("wal: append batch: %w", err)
+	}
+
+	l.cbmu.Lock()
+	l.wmu.Unlock()
+	if l.metrics.BatchRecords != nil {
+		l.metrics.BatchRecords(len(batch))
+	}
+	if l.metrics.SyncLatency != nil {
+		l.metrics.SyncLatency(elapsed)
+	}
+	for _, r := range batch {
+		r.fn(r.lsn, err)
+	}
+	l.cbmu.Unlock()
+
+	if remaining {
+		l.signal()
+	}
+}
+
+// SyncNow flushes every staged record and forces the file to disk,
+// regardless of the NoSync option.
+func (l *FileLog) SyncNow() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+	for {
+		l.flush()
+		l.mu.Lock()
+		drained := len(l.staged) == 0
+		l.mu.Unlock()
+		if drained {
+			break
+		}
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return l.f.Sync()
+}
+
+// Records implements Log by scanning the file, so a long-running log holds
+// no in-memory record cache. Staged records are flushed first. Note that
+// LSNs are scan positions: after a Compact they restart from 1 even though
+// in-flight appends keep their original, larger LSNs.
 func (l *FileLog) Records() ([]Record, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.close {
+	if l.closed {
+		l.mu.Unlock()
 		return nil, ErrClosed
 	}
-	out := make([]Record, len(l.recs))
-	copy(out, l.recs)
-	return out, nil
+	l.mu.Unlock()
+	for {
+		l.flush()
+		l.mu.Lock()
+		drained := len(l.staged) == 0
+		l.mu.Unlock()
+		if drained {
+			break
+		}
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	_, recs, err := scan(l.f)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
-// Close implements Log.
+// Close implements Log. Staged records are flushed (and their callbacks
+// run) before the file closes; closing twice is a no-op.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.close {
+	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
-	l.close = true
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.flusherDone
+	l.flush() // defensive: the flusher's final drain already emptied staging
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
 	return l.f.Close()
 }
 
 // Path returns the log file's path.
 func (l *FileLog) Path() string { return l.path }
+
+// Synchronous wraps a log so that each Append completes before the next may
+// start: with a FileLog underneath this restores the one-write-one-fsync
+// discipline that group commit replaces. It also hides any StagedLog
+// capability, making the engine fall back to synchronous logging. Used as
+// the baseline in benchmarks and available as a conservative mode.
+func Synchronous(inner Log) Log { return &syncLog{inner: inner} }
+
+type syncLog struct {
+	mu    sync.Mutex
+	inner Log
+}
+
+func (s *syncLog) Append(rec Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Append(rec)
+}
+
+func (s *syncLog) Records() ([]Record, error) { return s.inner.Records() }
+func (s *syncLog) Close() error               { return s.inner.Close() }
