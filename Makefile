@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke
+.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke bench-scaleout smoke-sharded
 
 all: build vet test
 
@@ -43,3 +43,17 @@ bench-throughput:
 # Short smoke for CI: same harness, small load, throwaway output.
 bench-throughput-smoke:
 	$(GO) run ./cmd/loadgen -clients 8 -duration 500ms -warmup 200ms -out /tmp/bench-smoke.json
+
+# Scale-out: keyed (shard-routed) transactions over growing clusters, sweeping
+# the cross-shard ratio, with -clients per site (weak scaling). Single-shard
+# transactions must engage exactly one site; the run fails on zero commits or
+# any consistency violation. Emits BENCH_shard_scaleout.json.
+bench-scaleout:
+	$(GO) run ./cmd/loadgen -mode scaleout -clients 16 -duration 3s \
+		-sites 2,4,8 -cross-shard 0,0.25,1 -out BENCH_shard_scaleout.json
+
+# Sharded smoke for CI: 4-node in-process cluster, mixed single/cross-shard
+# keyed workload; exits nonzero on zero commits or consistency violations.
+smoke-sharded:
+	$(GO) run ./cmd/loadgen -mode scaleout -clients 8 -duration 500ms -warmup 200ms \
+		-sites 4 -cross-shard 0.5 -out /tmp/sharded-smoke.json

@@ -1,13 +1,15 @@
 // Command kvctl talks to a kvnode's client API.
 //
-//	kvctl -addr localhost:8101 put 2 color blue     # one-shot transaction
+//	kvctl -addr localhost:8101 put 2 color blue     # site-addressed one-shot
 //	kvctl -addr localhost:8101 get 2 color
-//	kvctl -addr localhost:8101 tx "put 2 a 1" "put 3 b 2"
+//	kvctl -addr localhost:8101 putk color blue      # key-addressed: the node
+//	kvctl -addr localhost:8101 getk color           #   routes via its shard map
+//	kvctl -addr localhost:8101 tx "putk a 1" "putk b 2"
 //	kvctl -addr localhost:8101 -i                    # interactive session
 //
 // One-shot mode wraps the operation in BEGIN ... COMMIT; tx mode runs every
 // quoted command in a single transaction; interactive mode forwards stdin
-// lines verbatim (BEGIN/GET/PUT/DEL/COMMIT/ABORT).
+// lines verbatim (BEGIN/GET/PUT/DEL/GETK/PUTK/DELK/COMMIT/ABORT).
 package main
 
 import (
@@ -44,7 +46,7 @@ func main() {
 
 	if *interactive {
 		sc := bufio.NewScanner(os.Stdin)
-		fmt.Println("connected; commands: BEGIN, GET s k, PUT s k v, DEL s k, COMMIT, ABORT")
+		fmt.Println("connected; commands: BEGIN, GET s k, PUT s k v, DEL s k, GETK k, PUTK k v, DELK k, COMMIT, ABORT")
 		for sc.Scan() {
 			if strings.TrimSpace(sc.Text()) == "" {
 				continue
@@ -56,12 +58,12 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("kvctl: need a command (get/put/del/tx) or -i")
+		log.Fatal("kvctl: need a command (get/put/del/getk/putk/delk/tx) or -i")
 	}
 	switch strings.ToLower(args[0]) {
 	case "tx":
 		run(send, args[1:]...)
-	case "get", "put", "del":
+	case "get", "put", "del", "getk", "putk", "delk":
 		run(send, strings.Join(args, " "))
 	default:
 		log.Fatalf("kvctl: unknown command %q", args[0])

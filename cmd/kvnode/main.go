@@ -29,6 +29,7 @@ import (
 	"nbcommit/internal/kv"
 	"nbcommit/internal/nodeapi"
 	"nbcommit/internal/remote"
+	"nbcommit/internal/shard"
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
 )
@@ -49,6 +50,8 @@ func main() {
 		compactEvy = flag.Duration("compact-every", 0, "rewrite the WAL online at this interval, dropping forgotten transactions (0: only at startup)")
 		walFlush   = flag.Duration("wal-flush-interval", 0, "group-commit window; 0 flushes as soon as the disk is free")
 		walNoSync  = flag.Bool("wal-no-sync", false, "skip fsync (throughput experiments only; commits are NOT durable)")
+		shardFile  = flag.String("shardmap", "", "shard map file (empty: deterministic default map over the site list)")
+		shardsPer  = flag.Int("shards-per-site", 4, "shards per site for the default map (ignored with -shardmap)")
 	)
 	flag.Parse()
 	if *walPath == "" {
@@ -82,6 +85,20 @@ func main() {
 		ids = append(ids, p)
 	}
 	sort.Ints(ids)
+
+	// The shard map must be identical at every node: either the same map
+	// file is distributed to all of them, or every node derives the default
+	// map from the (shared) site list.
+	var smap *shard.Map
+	if *shardFile != "" {
+		smap, err = shard.Load(*shardFile)
+		if err != nil {
+			log.Fatalf("kvnode: %v", err)
+		}
+	} else {
+		smap = shard.Default(ids, *shardsPer)
+	}
+	log.Printf("kvnode %d: shard map v%d: %d shards over sites %v", *id, smap.Version, len(smap.Shards), smap.Sites())
 
 	hb := failure.NewHeartbeat(*id, ids, *hbEvery, *hbTimeout, func(to int) {
 		_ = ep.Send(transport.Message{To: to, Kind: failure.HeartbeatKind})
@@ -120,8 +137,12 @@ func main() {
 	}
 
 	store := kv.NewStore(kv.Options{LockTimeout: 250 * time.Millisecond})
-	server := &remote.Server{Store: store, Send: ep.Send}
+	server := &remote.Server{
+		Store: store, Send: ep.Send, Map: smap,
+		Paradigm: *paradigm, CommitWait: 20 * *timeout,
+	}
 	client := remote.NewClient(ep.Send, *timeout)
+	client.MapVersion = smap.Version
 
 	// Recover always: on an empty WAL it is a no-op; after a crash it
 	// replays committed effects and launches the recovery protocol.
@@ -149,6 +170,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer site.Stop()
+	server.SetSite(site) // forwarded commits coordinate on this engine
 	if doubt := site.InDoubt(); len(doubt) > 0 {
 		log.Printf("kvnode %d: recovering %d in-doubt transaction(s): %v", *id, len(doubt), doubt)
 	}
@@ -159,6 +181,7 @@ func main() {
 	api := &nodeapi.API{
 		Self: *id, Site: site, Store: store,
 		Client: client, Timeout: *timeout, Paradigm: *paradigm,
+		Router: &shard.Router{Map: smap},
 	}
 	ln, err := net.Listen("tcp", *clientAddr)
 	if err != nil {

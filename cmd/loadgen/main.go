@@ -1,13 +1,21 @@
-// Command loadgen measures sustained commit throughput: a closed loop of N
-// concurrent client sessions drives distributed transactions through a
-// 3-node in-process cluster whose sites run file-backed, fsync-enabled
-// write-ahead logs, for both 2PC and 3PC and with group commit on and off
-// (off = one serialized write+fsync per record, the pre-group-commit
-// baseline). Each scenario reports commits/sec, p50/p95/p99 commit latency,
-// WAL batch statistics, and steady-state memory, and the whole run is
-// written as JSON so the bench trajectory can track it.
+// Command loadgen measures sustained commit throughput. It has two modes:
+//
+// -mode throughput (default): a closed loop of N concurrent client sessions
+// drives distributed transactions through a 3-node in-process cluster whose
+// sites run file-backed, fsync-enabled write-ahead logs, for both 2PC and
+// 3PC and with group commit on and off (off = one serialized write+fsync per
+// record, the pre-group-commit baseline). Each scenario reports commits/sec,
+// p50/p95/p99 commit latency, WAL batch statistics, and steady-state memory.
+//
+// -mode scaleout: a keyed (shard-routed) workload against clusters of
+// increasing size, sweeping the fraction of cross-shard transactions, to
+// show that commit cost follows the touched cohort, not the cluster (see
+// scaleout.go).
+//
+// Either way the run is written as JSON so the bench trajectory can track it.
 //
 //	loadgen -clients 64 -duration 5s -out BENCH_commit_throughput.json
+//	loadgen -mode scaleout -sites 2,4,8 -cross-shard 0,0.25,1 -out BENCH_shard_scaleout.json
 package main
 
 import (
@@ -64,12 +72,16 @@ type report struct {
 
 func main() {
 	var (
-		clients  = flag.Int("clients", 64, "concurrent closed-loop client sessions")
-		duration = flag.Duration("duration", 5*time.Second, "measured window per scenario")
-		warmup   = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per scenario")
-		out      = flag.String("out", "BENCH_commit_throughput.json", "JSON report path")
-		dir      = flag.String("dir", "", "WAL directory (default: a temp dir; use a real disk to measure real fsyncs)")
-		forget   = flag.Duration("forget-after", 250*time.Millisecond, "engine auto-forget grace period")
+		mode      = flag.String("mode", "throughput", "throughput (3-node WAL bench) or scaleout (keyed sharding bench)")
+		clients   = flag.Int("clients", 64, "concurrent closed-loop client sessions (scaleout: per site)")
+		duration  = flag.Duration("duration", 5*time.Second, "measured window per scenario")
+		warmup    = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per scenario")
+		out       = flag.String("out", "", "JSON report path (default per mode)")
+		dir       = flag.String("dir", "", "WAL directory (default: a temp dir; use a real disk to measure real fsyncs)")
+		forget    = flag.Duration("forget-after", 250*time.Millisecond, "engine auto-forget grace period")
+		sitesFlag = flag.String("sites", "2,4,8", "scaleout: comma-separated cluster sizes")
+		crossFlag = flag.String("cross-shard", "0,0.25,1", "scaleout: comma-separated fractions of cross-shard transactions, each in [0,1]")
+		protoFlag = flag.String("proto", "3pc", "scaleout: commit protocol (2pc or 3pc)")
 	)
 	flag.Parse()
 
@@ -81,6 +93,37 @@ func main() {
 			log.Fatal(err)
 		}
 		defer os.RemoveAll(base)
+	}
+
+	switch *mode {
+	case "scaleout":
+		proto := engine.ThreePhase
+		if *protoFlag == "2pc" {
+			proto = engine.TwoPhase
+		} else if *protoFlag != "3pc" {
+			log.Fatalf("loadgen: unknown protocol %q", *protoFlag)
+		}
+		sites, err := parseInts(*sitesFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratios, err := parseFloats(*crossFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			*out = "BENCH_shard_scaleout.json"
+		}
+		if err := runScaleout(proto, sites, ratios, *clients, *duration, *warmup, *forget, base, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "throughput":
+	default:
+		log.Fatalf("loadgen: unknown mode %q", *mode)
+	}
+	if *out == "" {
+		*out = "BENCH_commit_throughput.json"
 	}
 
 	rep := report{Clients: *clients, DurationS: duration.Seconds()}
@@ -248,22 +291,22 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 	runtime.ReadMemStats(&ms)
 
 	res := &scenarioResult{
-		Protocol:        proto.String(),
-		WAL:             walName,
-		Clients:         clients,
-		DurationS:       elapsed.Seconds(),
-		Commits:         commits.Load(),
-		Aborts:          aborts.Load(),
-		Errors:          errsN.Load(),
-		CommitsPerSec:   float64(commits.Load()) / elapsed.Seconds(),
-		MeanMs:          ms2(lat.Mean()),
-		P50Ms:           ms2(lat.Quantile(0.50)),
-		P95Ms:           ms2(lat.Quantile(0.95)),
-		P99Ms:           ms2(lat.Quantile(0.99)),
-		MaxMs:           ms2(lat.Max()),
-		WALBatches:      batches.Load(),
-		WALMaxBatch:     maxBatch.Load(),
-		SyncP99Ms:       ms2(syncHist.Quantile(0.99)),
+		Protocol:      proto.String(),
+		WAL:           walName,
+		Clients:       clients,
+		DurationS:     elapsed.Seconds(),
+		Commits:       commits.Load(),
+		Aborts:        aborts.Load(),
+		Errors:        errsN.Load(),
+		CommitsPerSec: float64(commits.Load()) / elapsed.Seconds(),
+		MeanMs:        ms2(lat.Mean()),
+		P50Ms:         ms2(lat.Quantile(0.50)),
+		P95Ms:         ms2(lat.Quantile(0.95)),
+		P99Ms:         ms2(lat.Quantile(0.99)),
+		MaxMs:         ms2(lat.Max()),
+		WALBatches:    batches.Load(),
+		WALMaxBatch:   maxBatch.Load(),
+		SyncP99Ms:     ms2(syncHist.Quantile(0.99)),
 		TrackedTxns:   tracked,
 		HeapStartMB:   float64(heapStart.Load()) / (1 << 20),
 		HeapEndMB:     float64(ms.HeapAlloc) / (1 << 20),

@@ -1,0 +1,327 @@
+// Scale-out mode: keyed (shard-routed) transactions against clusters of
+// increasing size, sweeping the cross-shard ratio. Every transaction addresses
+// keys, not sites; the cluster's shard map routes each key to its owner and
+// the commit cohort is exactly the set of touched owners, so a single-shard
+// transaction engages one site however large the cluster is. The run fails
+// (nonzero exit) if any scenario commits nothing, routes a single-shard
+// transaction to more than one participant, or leaves a store inconsistent
+// with the committed history — which makes this both a benchmark and the
+// sharded smoke test CI runs.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbcommit/internal/dtx"
+	"nbcommit/internal/engine"
+	"nbcommit/internal/metrics"
+)
+
+type shardScenario struct {
+	Sites           int     `json:"sites"`
+	CrossShardRatio float64 `json:"cross_shard_ratio"`
+	// Clients is the total closed-loop client count for this scenario:
+	// clients-per-site × sites (weak scaling — offered load grows with the
+	// cluster, keeping per-site load constant).
+	Clients       int     `json:"clients"`
+	DurationS     float64 `json:"duration_s"`
+	Commits       int64   `json:"commits"`
+	Aborts        int64   `json:"aborts"`
+	Errors        int64   `json:"errors"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	// MeanParticipants is the average commit cohort size over committed
+	// transactions: 1.0 at ratio 0, rising toward the cross-shard fan-out as
+	// the ratio grows. This is the number the paper's cost analysis prices.
+	MeanParticipants float64 `json:"mean_participants"`
+	SingleShardTxns  int64   `json:"single_shard_txns"`
+	CrossShardTxns   int64   `json:"cross_shard_txns"`
+	// RoutingViolations counts single-shard transactions whose cohort was not
+	// exactly one site. Must be zero.
+	RoutingViolations int64 `json:"routing_violations"`
+	// ConsistencyViolations counts keys whose final store value differs from
+	// the last committed write. Must be zero.
+	ConsistencyViolations int `json:"consistency_violations"`
+}
+
+type scaleoutReport struct {
+	Mode           string          `json:"mode"`
+	Protocol       string          `json:"protocol"`
+	ClientsPerSite int             `json:"clients_per_site"`
+	DurationS      float64         `json:"duration_s"`
+	Scenarios      []shardScenario `json:"scenarios"`
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("loadgen: bad site count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f < 0 || f > 1 {
+			return nil, fmt.Errorf("loadgen: bad cross-shard ratio %q (want [0,1])", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func runScaleout(proto engine.ProtocolKind, sites []int, ratios []float64, clients int, duration, warmup, forget time.Duration, base, out string) error {
+	rep := scaleoutReport{
+		Mode: "scaleout", Protocol: proto.String(),
+		ClientsPerSite: clients, DurationS: duration.Seconds(),
+	}
+	failed := false
+	for _, n := range sites {
+		for _, ratio := range ratios {
+			res, err := runShardScenario(proto, n, ratio, clients, duration, warmup, forget, base)
+			if err != nil {
+				return fmt.Errorf("loadgen: %d sites ratio %.2f: %w", n, ratio, err)
+			}
+			rep.Scenarios = append(rep.Scenarios, *res)
+			fmt.Printf("%d sites  cross %.2f  %8.0f commits/s  p50 %6.2fms  p99 %6.2fms  mean cohort %.2f  violations %d\n",
+				n, ratio, res.CommitsPerSec, res.P50Ms, res.P99Ms, res.MeanParticipants, res.ConsistencyViolations)
+			if res.Commits == 0 || res.ConsistencyViolations > 0 || res.RoutingViolations > 0 {
+				failed = true
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if failed {
+		return fmt.Errorf("loadgen: scaleout failed: a scenario had zero commits or violations (see %s)", out)
+	}
+	return nil
+}
+
+// clientState is one client's record of what it committed; written only by
+// that client's goroutine, read after the run to audit the stores.
+type clientState struct {
+	expected map[string]string // key -> last committed value
+	tainted  map[string]bool   // keys whose last outcome was unresolved
+}
+
+func runShardScenario(proto engine.ProtocolKind, n int, ratio float64, perSite int, duration, warmup, forget time.Duration, base string) (*shardScenario, error) {
+	clients := perSite * n // weak scaling: offered load grows with the cluster
+	dir, err := os.MkdirTemp(base, fmt.Sprintf("scaleout-%d-", n))
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cluster, err := dtx.NewCluster(n, dtx.Options{
+		Protocol:    proto,
+		Timeout:     500 * time.Millisecond,
+		LockTimeout: time.Second,
+		Dir:         dir,
+		SyncWAL:     true,
+		ForgetAfter: forget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+	router := cluster.Router()
+
+	// Pre-bucket each client's (disjoint) keyspace by owner site so the
+	// workload can pick a single-shard or cross-shard key set directly.
+	const keysPerOwner = 8
+	buckets := make([]map[int][]string, clients)
+	for c := 0; c < clients; c++ {
+		buckets[c] = map[int][]string{}
+		filled := 0
+		for i := 0; filled < n; i++ {
+			k := fmt.Sprintf("c%d-k%d", c, i)
+			owner := router.Site(k)
+			if len(buckets[c][owner]) >= keysPerOwner {
+				continue
+			}
+			buckets[c][owner] = append(buckets[c][owner], k)
+			if len(buckets[c][owner]) == keysPerOwner {
+				filled++
+			}
+		}
+	}
+
+	var (
+		lat             metrics.Histogram
+		commits         atomic.Int64
+		aborts          atomic.Int64
+		errsN           atomic.Int64
+		singleTxns      atomic.Int64
+		crossTxns       atomic.Int64
+		routingViol     atomic.Int64
+		participantsSum atomic.Int64
+		measuring       atomic.Bool
+		stop            atomic.Bool
+	)
+	states := make([]*clientState, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		st := &clientState{expected: map[string]string{}, tainted: map[string]bool{}}
+		states[c] = st
+		go func(c int, st *clientState) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*7919 + 1))
+			owners := make([]int, 0, n)
+			for o := range buckets[c] {
+				owners = append(owners, o)
+			}
+			sort.Ints(owners)
+			for i := 0; !stop.Load(); i++ {
+				cross := n > 1 && rng.Float64() < ratio
+				var keys []string
+				if cross {
+					// One key at each of two distinct owner sites.
+					a := owners[rng.Intn(len(owners))]
+					b := owners[rng.Intn(len(owners))]
+					for b == a {
+						b = owners[rng.Intn(len(owners))]
+					}
+					keys = []string{
+						buckets[c][a][rng.Intn(keysPerOwner)],
+						buckets[c][b][rng.Intn(keysPerOwner)],
+					}
+				} else {
+					// Two keys from one owner's bucket.
+					o := owners[rng.Intn(len(owners))]
+					keys = []string{
+						buckets[c][o][rng.Intn(keysPerOwner)],
+						buckets[c][o][rng.Intn(keysPerOwner)],
+					}
+				}
+				val := fmt.Sprintf("v%d-%d", c, i)
+				tx := cluster.BeginKeyed()
+				ok := true
+				for _, k := range keys {
+					if err := tx.PutK(k, val); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					_ = tx.Abort()
+					errsN.Add(1)
+					continue
+				}
+				cohort := len(tx.Participants())
+				if !cross && cohort != 1 {
+					routingViol.Add(1)
+				}
+				start := time.Now()
+				o, err := tx.Commit(10 * time.Second)
+				elapsed := time.Since(start)
+				switch {
+				case err != nil || o == engine.OutcomePending:
+					// Unresolved: the writes may or may not land, so these
+					// keys can no longer be audited.
+					for _, k := range keys {
+						st.tainted[k] = true
+					}
+				case o == engine.OutcomeCommitted:
+					for _, k := range keys {
+						st.expected[k] = val
+						delete(st.tainted, k)
+					}
+				}
+				if !measuring.Load() {
+					continue
+				}
+				switch {
+				case err != nil || o == engine.OutcomePending:
+					errsN.Add(1)
+				case o == engine.OutcomeCommitted:
+					commits.Add(1)
+					lat.Observe(elapsed)
+					participantsSum.Add(int64(cohort))
+					if cross {
+						crossTxns.Add(1)
+					} else {
+						singleTxns.Add(1)
+					}
+				default:
+					aborts.Add(1)
+				}
+			}
+		}(c, st)
+	}
+
+	time.Sleep(warmup)
+	measuring.Store(true)
+	measureStart := time.Now()
+	time.Sleep(duration)
+	measuring.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+
+	// Audit: every key's value at its owner store must be the last value a
+	// client committed there. Client keyspaces are disjoint, so each client's
+	// record is authoritative for its keys.
+	violations := 0
+	for _, st := range states {
+		for k, want := range st.expected {
+			if st.tainted[k] {
+				continue
+			}
+			got, ok := cluster.Node(router.Site(k)).Store.Read(k)
+			if !ok || got != want {
+				violations++
+			}
+		}
+	}
+
+	res := &shardScenario{
+		Sites:                 n,
+		CrossShardRatio:       ratio,
+		Clients:               clients,
+		DurationS:             elapsed.Seconds(),
+		Commits:               commits.Load(),
+		Aborts:                aborts.Load(),
+		Errors:                errsN.Load(),
+		CommitsPerSec:         float64(commits.Load()) / elapsed.Seconds(),
+		MeanMs:                ms2(lat.Mean()),
+		P50Ms:                 ms2(lat.Quantile(0.50)),
+		P95Ms:                 ms2(lat.Quantile(0.95)),
+		P99Ms:                 ms2(lat.Quantile(0.99)),
+		SingleShardTxns:       singleTxns.Load(),
+		CrossShardTxns:        crossTxns.Load(),
+		RoutingViolations:     routingViol.Load(),
+		ConsistencyViolations: violations,
+	}
+	if c := commits.Load(); c > 0 {
+		res.MeanParticipants = float64(participantsSum.Load()) / float64(c)
+	}
+	return res, nil
+}

@@ -185,6 +185,7 @@ type cluster struct {
 	everCrashed  map[int]bool
 	pendingCrash []int
 	delivered    map[int]int // messages processed per site
+	deliveries   []transport.Message
 	steps        int
 	trace        []string
 	failures     []string // harness-level failures (recovery errors, ...)
@@ -247,12 +248,19 @@ func (c *cluster) fail(format string, args ...any) {
 
 // begin launches a transaction over the full cluster cohort.
 func (c *cluster) begin(coord int, txid string, peer bool) error {
+	return c.beginSubset(coord, txid, c.ids, peer)
+}
+
+// beginSubset launches a transaction whose cohort is a chosen subset of the
+// cluster — the sharded case, where only the owner sites of the touched
+// shards participate and the rest of the cluster are bystanders.
+func (c *cluster) beginSubset(coord int, txid string, cohort []int, peer bool) error {
 	c.txids = append(c.txids, txid)
-	c.tracef("begin %s coordinator=%d peer=%v", txid, coord, peer)
+	c.tracef("begin %s coordinator=%d cohort=%v peer=%v", txid, coord, cohort, peer)
 	if peer {
-		return c.sites[coord].BeginPeer(txid, c.ids)
+		return c.sites[coord].BeginPeer(txid, cohort)
 	}
-	return c.sites[coord].Begin(txid, c.ids)
+	return c.sites[coord].Begin(txid, cohort)
 }
 
 // trip marks a site dead as of this instant (mid-transition): its sends stop
@@ -339,6 +347,7 @@ func (c *cluster) run(p *plan) {
 				continue
 			}
 			c.tracef("deliver %s", m)
+			c.deliveries = append(c.deliveries, m)
 			c.sites[m.To].Deliver(m)
 			c.delivered[m.To]++
 			if t := c.deliverTrip; t != nil && t.Site == m.To && t.Msg == c.delivered[m.To] && !c.down[m.To] {

@@ -117,13 +117,21 @@ func (c *cluster) aliveCount() int {
 }
 
 // enumerateCrashPoints derives every single-crash schedule from a fault-free
-// reference execution: one crash point per WAL append and per message
-// delivery observed anywhere in the cluster. Because the crash run is
-// byte-identical to the reference run up to the trigger, every enumerated
-// point is guaranteed to fire.
+// reference execution of the default workload (one full-cohort transaction).
 func enumerateCrashPoints(cfg Config) []CrashPoint {
+	return enumerateCrashPointsFrom(cfg, func(c *cluster) error {
+		return c.begin(1, "t1", false)
+	})
+}
+
+// enumerateCrashPointsFrom derives every single-crash schedule from a
+// fault-free reference execution of the given workload: one crash point per
+// WAL append and per message delivery observed anywhere in the cluster.
+// Because the crash run is byte-identical to the reference run up to the
+// trigger, every enumerated point is guaranteed to fire.
+func enumerateCrashPointsFrom(cfg Config, launch func(*cluster) error) []CrashPoint {
 	c := newCluster(cfg, nil)
-	if err := c.begin(1, "t1", false); err != nil {
+	if err := launch(c); err != nil {
 		panic(fmt.Sprintf("dst: reference begin failed: %v", err))
 	}
 	c.run(nil)
@@ -159,15 +167,27 @@ func ExploreCrashPoints(cfg Config) []Report {
 	return reports
 }
 
-// RunCrashPoint executes one enumerated single-crash schedule and checks the
-// invariants before and after recovering the crashed site.
+// RunCrashPoint executes one enumerated single-crash schedule of the default
+// workload and checks the invariants before and after recovering the crashed
+// site.
 func RunCrashPoint(cfg Config, cp CrashPoint) Report {
+	r, _ := runCrashPointFrom(cfg, cp, func(c *cluster) error {
+		return c.begin(1, "t1", false)
+	})
+	return r
+}
+
+// runCrashPointFrom executes one single-crash schedule of the given workload,
+// checking the invariants before and after recovering the crashed site. The
+// settled cluster is returned so callers can make workload-specific
+// assertions (e.g. that bystander sites were never involved).
+func runCrashPointFrom(cfg Config, cp CrashPoint, launch func(*cluster) error) (Report, *cluster) {
 	cfg = cfg.withDefaults()
 	c := newCluster(cfg, &cp)
 	r := Report{Scenario: cp.String(), Protocol: cfg.Protocol}
-	if err := c.begin(1, "t1", false); err != nil {
+	if err := launch(c); err != nil {
 		r.violate("begin failed: %v", err)
-		return r
+		return r, c
 	}
 	c.run(nil)
 
@@ -208,7 +228,7 @@ func RunCrashPoint(cfg Config, cp CrashPoint) Report {
 		}
 	}
 	finishReport(c, &r)
-	return r
+	return r, c
 }
 
 // RunRandom executes one seeded random schedule: 1-3 transactions (central

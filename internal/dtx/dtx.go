@@ -18,6 +18,7 @@ import (
 	"nbcommit/internal/engine"
 	"nbcommit/internal/failure"
 	"nbcommit/internal/kv"
+	"nbcommit/internal/shard"
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
 )
@@ -117,6 +118,10 @@ type Options struct {
 	// ForgetAfter enables the engine's auto-forget of settled transactions
 	// (see engine.Config.ForgetAfter). Zero keeps them forever.
 	ForgetAfter time.Duration
+	// ShardMap places keys for the keyed transaction API (BeginKeyed,
+	// GetK/PutK/DelK). Nil defaults to the deterministic default map over
+	// the cluster's sites.
+	ShardMap *shard.Map
 }
 
 // Cluster is an in-process set of sites sharing a fault-injectable network.
@@ -124,6 +129,7 @@ type Cluster struct {
 	Net      *transport.Network
 	Detector *failure.OracleDetector
 	opts     Options
+	router   *shard.Router
 
 	mu    sync.Mutex
 	nodes map[int]*Node
@@ -151,8 +157,16 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if c.opts.ShardMap == nil {
+		c.opts.ShardMap = shard.Default(c.ids, 4)
+	}
+	c.router = &shard.Router{Map: c.opts.ShardMap}
 	return c, nil
 }
+
+// Router exposes the cluster's key placement, e.g. for workload generators
+// that need to pre-bucket keys by owner site.
+func (c *Cluster) Router() *shard.Router { return c.router }
 
 // newLog opens the WAL for a site, reusing prior when restarting.
 func (c *Cluster) newLog(id int, prior wal.Log) (wal.Log, error) {
@@ -287,6 +301,25 @@ func (c *Cluster) Begin(coordinator int) (*Txn, error) {
 	return t, nil
 }
 
+// BeginKeyed starts a key-addressed distributed transaction: no site is
+// enlisted up front; the owner sites of the keys it touches become the
+// commit cohort, and the lowest-numbered touched site coordinates. A
+// transaction confined to one shard therefore commits with a participant
+// set of exactly one site.
+func (c *Cluster) BeginKeyed() *Txn {
+	id := fmt.Sprintf("txk-%d", c.txSeq.Add(1))
+	return &Txn{ID: id, c: c, touched: map[int]bool{}}
+}
+
+// GetK reads a key at its owner site under the transaction.
+func (t *Txn) GetK(key string) (string, error) { return t.Get(t.c.router.Site(key), key) }
+
+// PutK writes a key at its owner site under the transaction.
+func (t *Txn) PutK(key, value string) error { return t.Put(t.c.router.Site(key), key, value) }
+
+// DelK removes a key at its owner site under the transaction.
+func (t *Txn) DelK(key string) error { return t.Delete(t.c.router.Site(key), key) }
+
 // enlist starts the local transaction at a site on first touch.
 func (t *Txn) enlist(site int) error {
 	if t.touched[site] {
@@ -346,6 +379,18 @@ func (t *Txn) Commit(timeout time.Duration) (engine.Outcome, error) {
 		return engine.OutcomePending, fmt.Errorf("dtx: transaction %s already finished", t.ID)
 	}
 	t.finished = true
+	if t.coordinator == 0 {
+		// Keyed transaction: the lowest touched site coordinates, so the
+		// cohort is exactly the owner sites of the touched shards.
+		for site := range t.touched {
+			if t.coordinator == 0 || site < t.coordinator {
+				t.coordinator = site
+			}
+		}
+		if t.coordinator == 0 {
+			return engine.OutcomeCommitted, nil // touched nothing
+		}
+	}
 	deadline := time.Now().Add(timeout)
 	coord := t.c.Node(t.coordinator)
 	var err error

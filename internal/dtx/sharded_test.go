@@ -1,0 +1,169 @@
+package dtx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nbcommit/internal/engine"
+	"nbcommit/internal/shard"
+)
+
+// keyAt finds a key the cluster's shard map places at the wanted site.
+func keyAt(t *testing.T, r *shard.Router, owner int, prefix string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("%s-%d", prefix, i)
+		if r.Site(k) == owner {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by site %d", owner)
+	return ""
+}
+
+// TestKeyedSingleShardParticipantSetOne is the sharding acceptance test: a
+// keyed transaction whose keys all live in one shard commits with a
+// participant set of exactly one site; the other sites never hear of it.
+func TestKeyedSingleShardParticipantSetOne(t *testing.T) {
+	c, err := NewCluster(4, Options{Protocol: engine.ThreePhase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	owner := 3
+	tx := c.BeginKeyed()
+	sh := c.Router().Map.ShardOf(keyAt(t, c.Router(), owner, "pin"))
+	wrote := 0
+	for i := 0; wrote < 3; i++ {
+		k := fmt.Sprintf("pin-%d", i)
+		if c.Router().Map.ShardOf(k).ID != sh.ID {
+			continue // same shard, not merely same owner site
+		}
+		if err := tx.PutK(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+		wrote++
+	}
+	if got := tx.Participants(); len(got) != 1 || got[0] != owner {
+		t.Fatalf("touched sites = %v, want [%d]", got, owner)
+	}
+	o, err := tx.Commit(5 * time.Second)
+	if err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("commit = %v, %v", o, err)
+	}
+	if got := c.Node(owner).Site.Participants(tx.ID); len(got) != 1 || got[0] != owner {
+		t.Fatalf("engine participant set = %v, want [%d]", got, owner)
+	}
+	for _, id := range c.IDs() {
+		if id == owner {
+			continue
+		}
+		if got := c.Node(id).Site.Participants(tx.ID); got != nil {
+			t.Fatalf("bystander site %d joined the commit: %v", id, got)
+		}
+		if _, err := c.Node(id).Site.Outcome(tx.ID); err == nil {
+			t.Fatalf("bystander site %d knows the transaction", id)
+		}
+	}
+}
+
+// TestKeyedCrossShardCohortIsTouchedSet: a keyed transaction spanning two
+// owner sites commits across exactly those two sites.
+func TestKeyedCrossShardCohortIsTouchedSet(t *testing.T) {
+	c, err := NewCluster(4, Options{Protocol: engine.ThreePhase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	k2 := keyAt(t, c.Router(), 2, "a")
+	k4 := keyAt(t, c.Router(), 4, "b")
+	tx := c.BeginKeyed()
+	if err := tx.PutK(k2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutK(k4, "y"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := tx.Commit(5 * time.Second)
+	if err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("commit = %v, %v", o, err)
+	}
+	got := c.Node(2).Site.Participants(tx.ID)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("participants = %v, want [2 4]", got)
+	}
+	for _, id := range []int{1, 3} {
+		if got := c.Node(id).Site.Participants(tx.ID); got != nil {
+			t.Fatalf("bystander site %d joined the commit: %v", id, got)
+		}
+	}
+	if v, _ := c.Node(2).Store.Read(k2); v != "x" {
+		t.Fatalf("k2 = %q", v)
+	}
+	if v, _ := c.Node(4).Store.Read(k4); v != "y" {
+		t.Fatalf("k4 = %q", v)
+	}
+}
+
+// TestKeyedReadsRouteToOwner: a committed keyed write is read back through
+// the keyed API, and an untouched keyed transaction commits trivially.
+func TestKeyedReadsRouteToOwner(t *testing.T) {
+	c, err := NewCluster(3, Options{Protocol: engine.TwoPhase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	tx := c.BeginKeyed()
+	if err := tx.PutK("color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	if o, err := tx.Commit(5 * time.Second); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("commit = %v, %v", o, err)
+	}
+
+	rd := c.BeginKeyed()
+	v, err := rd.GetK("color")
+	if err != nil || v != "blue" {
+		t.Fatalf("GetK = %q, %v", v, err)
+	}
+	if err := rd.DelK("color"); err != nil {
+		t.Fatal(err)
+	}
+	if o, err := rd.Commit(5 * time.Second); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("commit = %v, %v", o, err)
+	}
+	owner := c.Router().Site("color")
+	if _, ok := c.Node(owner).Store.Read("color"); ok {
+		t.Fatal("deleted key still present at owner")
+	}
+
+	empty := c.BeginKeyed()
+	if o, err := empty.Commit(time.Second); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("empty keyed commit = %v, %v", o, err)
+	}
+}
+
+// TestKeyedRoutingAgreesAcrossClusters: two clusters of the same size place
+// every key identically — the shard map is a pure function of the site list.
+func TestKeyedRoutingAgreesAcrossClusters(t *testing.T) {
+	a, err := NewCluster(5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := NewCluster(5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.Router().Site(k) != b.Router().Site(k) {
+			t.Fatalf("clusters disagree on owner of %q: %d vs %d", k, a.Router().Site(k), b.Router().Site(k))
+		}
+	}
+}

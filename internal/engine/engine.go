@@ -869,6 +869,20 @@ func (s *Site) Forget(txid string) error {
 	return nil
 }
 
+// Participants returns the commit cohort of a transaction this site tracks
+// (coordinator included), or nil if the site does not know the transaction.
+// Exposed for observability and for tests asserting cohort sizes — e.g.
+// that a single-shard transaction engaged exactly one site.
+func (s *Site) Participants(txid string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[txid]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), t.meta.Participants...)
+}
+
 // Transactions returns the IDs of the transactions this site currently
 // tracks, for observability and tests.
 func (s *Site) Transactions() []string {

@@ -1,7 +1,11 @@
 // Package nodeapi implements the line-oriented client protocol served by
 // kvnode: a connected client opens one transaction at a time, issues reads
-// and writes against any site (the serving node executes remote operations
-// through the data plane), and commits through the node's engine.
+// and writes — site-addressed or key-addressed — and commits through the
+// cluster's commit engines. Key-addressed verbs consult the node's shard
+// map, so any node can serve any client without the client knowing data
+// placement; the serving node executes remote operations through the data
+// plane and the transaction commits across exactly the sites whose shards
+// it touched (a single-shard transaction engages one site).
 //
 // Protocol (one line per request/response):
 //
@@ -9,6 +13,9 @@
 //	GET <site> <key>      -> VAL <value> | ERR <msg>
 //	PUT <site> <key> <v>  -> OK | ERR <msg>
 //	DEL <site> <key>      -> OK | ERR <msg>
+//	GETK <key>            -> VAL <value> | ERR <msg>
+//	PUTK <key> <v>        -> OK | ERR <msg>
+//	DELK <key>            -> OK | ERR <msg>
 //	COMMIT                -> COMMITTED | ABORTED | ERR <msg>
 //	ABORT                 -> OK
 package nodeapi
@@ -17,6 +24,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -26,6 +34,7 @@ import (
 	"nbcommit/internal/engine"
 	"nbcommit/internal/kv"
 	"nbcommit/internal/remote"
+	"nbcommit/internal/shard"
 )
 
 var txSeq atomic.Uint64
@@ -45,6 +54,9 @@ type API struct {
 	Timeout time.Duration
 	// Paradigm selects central-site (default) or decentralized commitment.
 	Paradigm string // "central" or "decentralized"
+	// Router resolves key-addressed operations to owner sites. Nil disables
+	// the GETK/PUTK/DELK verbs.
+	Router *shard.Router
 }
 
 // Serve handles one client connection until it closes.
@@ -121,6 +133,8 @@ func (s *Session) Execute(line string) string {
 		return s.begin()
 	case "GET", "PUT", "DEL":
 		return s.operate(cmd, args[1:])
+	case "GETK", "PUTK", "DELK":
+		return s.operateKeyed(cmd, args[1:])
 	case "COMMIT":
 		return s.commit()
 	case "ABORT":
@@ -134,15 +148,14 @@ func (s *Session) Execute(line string) string {
 	}
 }
 
+// begin opens a transaction without enlisting any site: sites join the
+// cohort on first touch, so a transaction whose keys all live elsewhere
+// never includes the serving node in its commit.
 func (s *Session) begin() string {
 	if s.txid != "" {
 		return "ERR transaction already open"
 	}
 	s.txid = fmt.Sprintf("tx-%d-%d", s.api.Self, txSeq.Add(1))
-	if err := s.enlist(s.api.Self); err != nil {
-		s.txid = ""
-		return "ERR " + err.Error()
-	}
 	return "OK " + s.txid
 }
 
@@ -184,6 +197,46 @@ func (s *Session) operate(cmd string, args []string) string {
 	}
 }
 
+// operateKeyed executes a key-addressed verb by routing the key to its
+// owner site through the shard map.
+func (s *Session) operateKeyed(cmd string, args []string) string {
+	if s.api.Router == nil {
+		return "ERR this node has no shard map (use site-addressed " + cmd[:3] + ")"
+	}
+	if s.txid == "" {
+		return "ERR no open transaction (BEGIN first)"
+	}
+	if len(args) < 1 {
+		return "ERR usage: " + cmd + " <key> [value]"
+	}
+	key := args[0]
+	site := s.api.Router.Site(key)
+	if err := s.enlist(site); err != nil {
+		return "ERR " + err.Error()
+	}
+	switch cmd {
+	case "GETK":
+		v, err := s.opAt(site, remote.OpGet, key, "")
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "VAL " + v
+	case "PUTK":
+		if len(args) < 2 {
+			return "ERR usage: PUTK <key> <value>"
+		}
+		if _, err := s.opAt(site, remote.OpPut, key, strings.Join(args[1:], " ")); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	default: // DELK
+		if _, err := s.opAt(site, remote.OpDelete, key, ""); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	}
+}
+
 func (s *Session) commit() string {
 	if s.txid == "" {
 		return "ERR no open transaction"
@@ -192,16 +245,8 @@ func (s *Session) commit() string {
 	for site := range s.touched {
 		sites = append(sites, site)
 	}
-	var err error
-	if s.api.Paradigm == "decentralized" {
-		err = s.api.Site.BeginPeer(s.txid, sites)
-	} else {
-		err = s.api.Site.Begin(s.txid, sites)
-	}
-	if err != nil {
-		return "ERR " + err.Error()
-	}
-	o, werr := s.api.Site.WaitOutcome(s.txid, 20*s.api.Timeout)
+	sort.Ints(sites)
+	o, werr := s.runCommit(sites)
 	s.txid = ""
 	s.touched = map[int]bool{}
 	if werr != nil {
@@ -215,6 +260,32 @@ func (s *Session) commit() string {
 	default:
 		return "ERR still pending (possibly blocked)"
 	}
+}
+
+// runCommit drives the commit protocol over the touched sites. The cohort
+// is exactly the touched set: if this node holds touched data it
+// coordinates itself; otherwise it forwards coordination to the
+// lowest-numbered touched site, keeping bystander nodes out of the commit —
+// a transaction confined to one shard commits at one site.
+func (s *Session) runCommit(sites []int) (engine.Outcome, error) {
+	if len(sites) == 0 {
+		// A read-free, write-free transaction has nothing to commit.
+		return engine.OutcomeCommitted, nil
+	}
+	wait := 20 * s.api.Timeout
+	if !s.touched[s.api.Self] {
+		return s.api.Client.Commit(sites[0], s.txid, sites, wait)
+	}
+	var err error
+	if s.api.Paradigm == "decentralized" {
+		err = s.api.Site.BeginPeer(s.txid, sites)
+	} else {
+		err = s.api.Site.Begin(s.txid, sites)
+	}
+	if err != nil {
+		return engine.OutcomePending, err
+	}
+	return s.api.Site.WaitOutcome(s.txid, wait)
 }
 
 // opAt executes one data-plane operation locally or at a peer.

@@ -2,6 +2,7 @@ package nodeapi
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"nbcommit/internal/failure"
 	"nbcommit/internal/kv"
 	"nbcommit/internal/remote"
+	"nbcommit/internal/shard"
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
 )
@@ -22,21 +24,29 @@ type node struct {
 	store  *kv.Store
 	site   *engine.Site
 	client *remote.Client
+	server *remote.Server
 }
 
 // testCluster builds n nodes over the in-memory network with the oracle
-// detector (the node wiring minus TCP and heartbeats).
+// detector (the node wiring minus TCP and heartbeats). Every node holds the
+// deterministic default shard map for the cluster.
 func testCluster(t *testing.T, n int) (map[int]*node, *transport.Network) {
 	t.Helper()
 	net := transport.NewNetwork()
 	det := failure.NewOracle(net)
+	ids := make([]int, 0, n)
+	for i := 1; i <= n; i++ {
+		ids = append(ids, i)
+	}
+	smap := shard.Default(ids, 4)
 	nodes := map[int]*node{}
 	for i := 1; i <= n; i++ {
 		i := i
 		ep := net.Endpoint(i)
 		store := kv.NewStore(kv.Options{LockTimeout: 50 * time.Millisecond})
-		server := &remote.Server{Store: store, Send: ep.Send}
+		server := &remote.Server{Store: store, Send: ep.Send, Map: smap}
 		client := remote.NewClient(ep.Send, 300*time.Millisecond)
+		client.MapVersion = smap.Version
 		site, err := engine.New(engine.Config{
 			ID:       i,
 			Endpoint: ep,
@@ -57,8 +67,9 @@ func testCluster(t *testing.T, n int) (map[int]*node, *transport.Network) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		server.SetSite(site)
 		site.Start()
-		nodes[i] = &node{id: i, store: store, site: site, client: client}
+		nodes[i] = &node{id: i, store: store, site: site, client: client, server: server}
 	}
 	t.Cleanup(func() {
 		for _, nd := range nodes {
@@ -100,6 +111,7 @@ func api(nd *node) *API {
 	return &API{
 		Self: nd.id, Site: nd.site, Store: nd.store,
 		Client: nd.client, Timeout: 60 * time.Millisecond,
+		Router: &shard.Router{Map: nd.server.Map},
 	}
 }
 
@@ -264,4 +276,154 @@ func TestServeOverRealConnection(t *testing.T) {
 		t.Fatalf("COMMIT = %q", got)
 	}
 	waitRead(t, nodes[2].store, "wire", "works")
+}
+
+// keyOwnedBy finds a key the shard map places at the wanted site.
+func keyOwnedBy(t *testing.T, r *shard.Router, owner int, prefix string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("%s-%d", prefix, i)
+		if r.Site(k) == owner {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by site %d", owner)
+	return ""
+}
+
+// TestKeyedSingleShardOneParticipant is the sharding acceptance check: a
+// transaction whose only key lives at a remote site commits with a
+// participant set of exactly that one site — the serving node and every
+// bystander stay out of the commit entirely.
+func TestKeyedSingleShardOneParticipant(t *testing.T) {
+	nodes, _ := testCluster(t, 3)
+	a := api(nodes[1])
+	s := &Session{api: a, touched: map[int]bool{}}
+
+	key := keyOwnedBy(t, a.Router, 2, "solo")
+	reply := s.Execute("BEGIN")
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("BEGIN = %q", reply)
+	}
+	txid := strings.TrimPrefix(reply, "OK ")
+	if got := s.Execute("PUTK " + key + " v1"); got != "OK" {
+		t.Fatalf("PUTK = %q", got)
+	}
+	if got := s.Execute("GETK " + key); got != "VAL v1" {
+		t.Fatalf("GETK = %q", got)
+	}
+	if got := s.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("COMMIT = %q", got)
+	}
+
+	if got := nodes[2].site.Participants(txid); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("participants at owner = %v, want [2]", got)
+	}
+	for _, bystander := range []int{1, 3} {
+		if got := nodes[bystander].site.Participants(txid); got != nil {
+			t.Fatalf("bystander site %d joined the commit: %v", bystander, got)
+		}
+	}
+	waitRead(t, nodes[2].store, key, "v1")
+}
+
+// TestKeyedCrossShard: keys owned by two sites commit across exactly those
+// two sites, with the serving node coordinating when it owns one of them.
+func TestKeyedCrossShard(t *testing.T) {
+	nodes, _ := testCluster(t, 3)
+	a := api(nodes[1])
+	s := &Session{api: a, touched: map[int]bool{}}
+
+	kLocal := keyOwnedBy(t, a.Router, 1, "local")
+	kRemote := keyOwnedBy(t, a.Router, 3, "remote")
+	reply := s.Execute("BEGIN")
+	txid := strings.TrimPrefix(reply, "OK ")
+	if got := s.Execute("PUTK " + kLocal + " a"); got != "OK" {
+		t.Fatalf("PUTK local = %q", got)
+	}
+	if got := s.Execute("PUTK " + kRemote + " b"); got != "OK" {
+		t.Fatalf("PUTK remote = %q", got)
+	}
+	if got := s.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("COMMIT = %q", got)
+	}
+	if got := nodes[1].site.Participants(txid); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("participants = %v, want [1 3]", got)
+	}
+	if got := nodes[2].site.Participants(txid); got != nil {
+		t.Fatalf("bystander site 2 joined the commit: %v", got)
+	}
+	waitRead(t, nodes[1].store, kLocal, "a")
+	waitRead(t, nodes[3].store, kRemote, "b")
+}
+
+// TestKeyedReadYourWrites: a key committed through one node is readable
+// key-addressed through another node.
+func TestKeyedReadYourWrites(t *testing.T) {
+	nodes, _ := testCluster(t, 3)
+	writer := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+	key := keyOwnedBy(t, api(nodes[1]).Router, 3, "ryw")
+	writer.Execute("BEGIN")
+	if got := writer.Execute("PUTK " + key + " seen"); got != "OK" {
+		t.Fatalf("PUTK = %q", got)
+	}
+	if got := writer.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("COMMIT = %q", got)
+	}
+	waitRead(t, nodes[3].store, key, "seen")
+
+	reader := &Session{api: api(nodes[2]), touched: map[int]bool{}}
+	reader.Execute("BEGIN")
+	if got := reader.Execute("GETK " + key); got != "VAL seen" {
+		t.Fatalf("GETK via other node = %q", got)
+	}
+	reader.Execute("ABORT")
+}
+
+// TestKeyedEmptyCommit: a transaction that touched nothing commits trivially
+// without engaging any engine.
+func TestKeyedEmptyCommit(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	s := &Session{api: api(nodes[1]), touched: map[int]bool{}}
+	reply := s.Execute("BEGIN")
+	txid := strings.TrimPrefix(reply, "OK ")
+	if got := s.Execute("COMMIT"); got != "COMMITTED" {
+		t.Fatalf("empty COMMIT = %q", got)
+	}
+	for id, nd := range nodes {
+		if got := nd.site.Participants(txid); got != nil {
+			t.Fatalf("site %d tracked an empty transaction: %v", id, got)
+		}
+	}
+}
+
+// TestKeyedWithoutRouter: the keyed verbs fail cleanly on a node with no
+// shard map.
+func TestKeyedWithoutRouter(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	a := api(nodes[1])
+	a.Router = nil
+	s := &Session{api: a, touched: map[int]bool{}}
+	s.Execute("BEGIN")
+	if got := s.Execute("PUTK k v"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("PUTK without router = %q", got)
+	}
+	s.Execute("ABORT")
+}
+
+// TestKeyedVersionMismatch: a node routing under a stale shard map is
+// rejected by the owner site instead of silently misplacing data.
+func TestKeyedVersionMismatch(t *testing.T) {
+	nodes, _ := testCluster(t, 2)
+	a := api(nodes[1])
+	nodes[1].client.MapVersion = 99 // stale router
+	defer func() { nodes[1].client.MapVersion = a.Router.Map.Version }()
+	s := &Session{api: a, touched: map[int]bool{}}
+	key := keyOwnedBy(t, a.Router, 2, "stale")
+	s.Execute("BEGIN")
+	got := s.Execute("PUTK " + key + " v")
+	if !strings.HasPrefix(got, "ERR") || !strings.Contains(got, "version mismatch") {
+		t.Fatalf("stale-map PUTK = %q, want version mismatch error", got)
+	}
+	s.Execute("ABORT")
 }

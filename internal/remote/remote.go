@@ -10,9 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nbcommit/internal/engine"
 	"nbcommit/internal/kv"
+	"nbcommit/internal/shard"
 	"nbcommit/internal/transport"
 )
 
@@ -30,6 +33,12 @@ const (
 	OpPut    = "put"
 	OpDelete = "delete"
 	OpAbort  = "abort"
+	// OpCommit hands coordination of a transaction to the peer: the peer's
+	// engine runs the commit protocol over req.Participants and the reply
+	// carries the outcome. This is how a node that touched no local data
+	// commits a transaction without inflating the cohort with itself — a
+	// single-shard transaction engages exactly its owner site.
+	OpCommit = "commit"
 )
 
 // Request is one data-plane operation against a peer's store.
@@ -39,6 +48,11 @@ type Request struct {
 	Op    string
 	Key   string
 	Value string
+	// Participants is the commit cohort for OpCommit.
+	Participants []int
+	// MapVersion stamps the sender's shard map version; the receiver rejects
+	// the request if it routes under a different map. Zero means unsharded.
+	MapVersion uint64
 }
 
 // Reply answers a Request.
@@ -56,11 +70,29 @@ func encode(v any) []byte {
 	return buf.Bytes()
 }
 
-// Server applies data-plane requests to a local store.
+// Server applies data-plane requests to a local store and, for OpCommit,
+// drives the local commit engine as the transaction's coordinator.
 type Server struct {
 	Store *kv.Store
 	Send  func(transport.Message) error
+	// Paradigm selects central-site (default) or decentralized commitment
+	// for forwarded commits, mirroring nodeapi.API.Paradigm.
+	Paradigm string
+	// CommitWait bounds how long a forwarded commit waits for the engine's
+	// decision. Zero defaults to 10s.
+	CommitWait time.Duration
+	// Map, when set, rejects requests stamped with a different shard map
+	// version: a router holding a stale map must not place data here.
+	Map *shard.Map
+
+	site atomic.Pointer[engine.Site]
 }
+
+// SetSite installs the local commit engine, enabling OpCommit. It may be
+// called after messages start flowing (the engine is typically constructed
+// after the server it is wired to); forwarded commits arriving before it
+// are refused, not misrouted.
+func (s *Server) SetSite(site *engine.Site) { s.site.Store(site) }
 
 // Handle processes one KV-OP message and sends the reply.
 func (s *Server) Handle(m transport.Message) {
@@ -70,24 +102,59 @@ func (s *Server) Handle(m transport.Message) {
 	}
 	rep := Reply{ReqID: req.ReqID}
 	var err error
-	switch req.Op {
-	case OpBegin:
-		err = s.Store.Begin(req.TxID)
-	case OpGet:
-		rep.Value, err = s.Store.Get(req.TxID, req.Key)
-	case OpPut:
-		err = s.Store.Put(req.TxID, req.Key, req.Value)
-	case OpDelete:
-		err = s.Store.Delete(req.TxID, req.Key)
-	case OpAbort:
-		err = s.Store.Abort(req.TxID)
-	default:
-		err = fmt.Errorf("remote: unknown op %q", req.Op)
+	if verr := s.Map.CheckVersion(req.MapVersion); verr != nil {
+		err = verr
+	} else {
+		switch req.Op {
+		case OpBegin:
+			err = s.Store.Begin(req.TxID)
+		case OpGet:
+			rep.Value, err = s.Store.Get(req.TxID, req.Key)
+		case OpPut:
+			err = s.Store.Put(req.TxID, req.Key, req.Value)
+		case OpDelete:
+			err = s.Store.Delete(req.TxID, req.Key)
+		case OpAbort:
+			err = s.Store.Abort(req.TxID)
+		case OpCommit:
+			rep.Value, err = s.commit(req)
+		default:
+			err = fmt.Errorf("remote: unknown op %q", req.Op)
+		}
 	}
 	if err != nil {
 		rep.Err = err.Error()
 	}
 	_ = s.Send(transport.Message{To: m.From, Kind: KindReply, TxID: req.TxID, Body: encode(rep)})
+}
+
+// commit coordinates a forwarded transaction on the local engine and waits
+// for the decision. The caller's cohort is used as-is (this site must be in
+// it, which holds by construction: commits are forwarded to an owner of a
+// touched shard).
+func (s *Server) commit(req Request) (string, error) {
+	site := s.site.Load()
+	if site == nil {
+		return "", errors.New("remote: this node does not accept forwarded commits")
+	}
+	var err error
+	if s.Paradigm == "decentralized" {
+		err = site.BeginPeer(req.TxID, req.Participants)
+	} else {
+		err = site.Begin(req.TxID, req.Participants)
+	}
+	if err != nil {
+		return "", err
+	}
+	wait := s.CommitWait
+	if wait == 0 {
+		wait = 10 * time.Second
+	}
+	o, err := site.WaitOutcome(req.TxID, wait)
+	if err != nil {
+		return "", err
+	}
+	return o.String(), nil
 }
 
 // ErrTimeout is returned when a peer does not answer in time (it may have
@@ -98,6 +165,9 @@ var ErrTimeout = errors.New("remote: call timed out")
 type Client struct {
 	Send    func(transport.Message) error
 	Timeout time.Duration
+	// MapVersion stamps every request with the sender's shard map version
+	// (zero: unsharded, never rejected).
+	MapVersion uint64
 
 	mu      sync.Mutex
 	seq     uint64
@@ -127,14 +197,39 @@ func (c *Client) Deliver(m transport.Message) {
 
 // Call sends one operation to a peer and waits for the reply.
 func (c *Client) Call(to int, txid, op, key, value string) (string, error) {
+	return c.call(to, Request{TxID: txid, Op: op, Key: key, Value: value}, c.Timeout)
+}
+
+// Commit forwards coordination of txid to a peer: the peer's engine runs the
+// commit protocol over participants and the returned outcome is the peer's
+// decision ("committed", "aborted" or "pending"). wait bounds the reply
+// wait; it must cover the whole protocol, not one message round, so it is
+// separate from the per-operation Timeout.
+func (c *Client) Commit(to int, txid string, participants []int, wait time.Duration) (engine.Outcome, error) {
+	v, err := c.call(to, Request{TxID: txid, Op: OpCommit, Participants: participants}, wait)
+	if err != nil {
+		return engine.OutcomePending, err
+	}
+	switch v {
+	case engine.OutcomeCommitted.String():
+		return engine.OutcomeCommitted, nil
+	case engine.OutcomeAborted.String():
+		return engine.OutcomeAborted, nil
+	default:
+		return engine.OutcomePending, nil
+	}
+}
+
+func (c *Client) call(to int, req Request, timeout time.Duration) (string, error) {
 	c.mu.Lock()
 	c.seq++
-	req := Request{ReqID: c.seq, TxID: txid, Op: op, Key: key, Value: value}
+	req.ReqID = c.seq
+	req.MapVersion = c.MapVersion
 	ch := make(chan Reply, 1)
 	c.pending[req.ReqID] = ch
 	c.mu.Unlock()
 
-	if err := c.Send(transport.Message{To: to, Kind: KindOp, TxID: txid, Body: encode(req)}); err != nil {
+	if err := c.Send(transport.Message{To: to, Kind: KindOp, TxID: req.TxID, Body: encode(req)}); err != nil {
 		c.drop(req.ReqID)
 		return "", err
 	}
@@ -144,9 +239,9 @@ func (c *Client) Call(to int, txid, op, key, value string) (string, error) {
 			return "", errors.New(rep.Err)
 		}
 		return rep.Value, nil
-	case <-time.After(c.Timeout):
+	case <-time.After(timeout):
 		c.drop(req.ReqID)
-		return "", fmt.Errorf("%w (site %d, op %s)", ErrTimeout, to, op)
+		return "", fmt.Errorf("%w (site %d, op %s)", ErrTimeout, to, req.Op)
 	}
 }
 

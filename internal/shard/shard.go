@@ -1,0 +1,295 @@
+// Package shard is the placement layer of the store: a versioned shard map
+// that partitions the keyspace into contiguous hash ranges and assigns each
+// range to an owner site, plus a router that turns key-addressed client
+// operations into site-addressed data-plane calls.
+//
+// The map is static configuration shared by every node of a deployment: all
+// nodes must hold byte-identical maps of the same version, which is why the
+// default map is a pure function of the site list and every data-plane
+// request carries the sender's map version for the receiver to check. A
+// transaction's participant set is exactly the set of owner sites of the
+// shards it touched — a single-shard transaction engages one site and pays
+// no distributed commit at all.
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Hash maps a key to its position in the 64-bit hash ring (FNV-1a).
+func Hash(key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	return h.Sum64()
+}
+
+// Shard is one contiguous hash range [Start, End] (inclusive on both ends)
+// owned by a single site.
+type Shard struct {
+	ID    int
+	Start uint64
+	End   uint64
+	Owner int
+}
+
+// Contains reports whether the hash point falls in this shard's range.
+func (s Shard) Contains(h uint64) bool { return s.Start <= h && h <= s.End }
+
+// Map is a versioned partition of the whole 64-bit hash space. Shards are
+// sorted by Start and cover the space exactly: no gaps, no overlaps.
+type Map struct {
+	Version uint64
+	Shards  []Shard
+}
+
+// ErrVersionMismatch is returned when two nodes disagree on the shard map
+// version; routing decisions made under different maps must not mix.
+type ErrVersionMismatch struct {
+	Have, Got uint64
+}
+
+func (e ErrVersionMismatch) Error() string {
+	return fmt.Sprintf("shard: map version mismatch (have %d, got %d)", e.Have, e.Got)
+}
+
+// CheckVersion rejects a request stamped with a different map version. A
+// zero version on either side means "no map" and is not checked, so
+// unsharded deployments keep working.
+func (m *Map) CheckVersion(got uint64) error {
+	if m == nil || m.Version == 0 || got == 0 || m.Version == got {
+		return nil
+	}
+	return ErrVersionMismatch{Have: m.Version, Got: got}
+}
+
+// ShardOf returns the shard owning the key.
+func (m *Map) ShardOf(key string) Shard { return m.ShardAt(Hash(key)) }
+
+// ShardAt returns the shard owning a hash point.
+func (m *Map) ShardAt(h uint64) Shard {
+	i := sort.Search(len(m.Shards), func(i int) bool { return m.Shards[i].End >= h })
+	if i == len(m.Shards) {
+		// Validate guarantees full coverage; tolerate a malformed map by
+		// clamping to the last shard rather than panicking on a lookup.
+		i = len(m.Shards) - 1
+	}
+	return m.Shards[i]
+}
+
+// Owner returns the site owning the key.
+func (m *Map) Owner(key string) int { return m.ShardOf(key).Owner }
+
+// Sites returns the sorted set of distinct owner sites.
+func (m *Map) Sites() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range m.Shards {
+		if !seen[s.Owner] {
+			seen[s.Owner] = true
+			out = append(out, s.Owner)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks the structural invariants: at least one shard, shards
+// sorted by Start, ranges contiguous from 0 to MaxUint64 with no gaps or
+// overlaps, positive owners, distinct IDs.
+func (m *Map) Validate() error {
+	if m == nil || len(m.Shards) == 0 {
+		return fmt.Errorf("shard: empty map")
+	}
+	ids := map[int]bool{}
+	var next uint64
+	for i, s := range m.Shards {
+		if s.Owner < 1 {
+			return fmt.Errorf("shard: shard %d has bad owner %d", s.ID, s.Owner)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("shard: duplicate shard ID %d", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Start != next {
+			return fmt.Errorf("shard: range gap or overlap at shard %d: starts at %#x, want %#x", s.ID, s.Start, next)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("shard: shard %d has inverted range", s.ID)
+		}
+		if i == len(m.Shards)-1 {
+			if s.End != math.MaxUint64 {
+				return fmt.Errorf("shard: last shard ends at %#x, want %#x", s.End, uint64(math.MaxUint64))
+			}
+		} else {
+			if s.End == math.MaxUint64 {
+				return fmt.Errorf("shard: shard %d covers the end but is not last", s.ID)
+			}
+			next = s.End + 1
+		}
+	}
+	return nil
+}
+
+// Default builds the deterministic default map for a deployment: the hash
+// space is split into len(sites)*shardsPerSite equal ranges and owners are
+// assigned round-robin over the sorted site list. Every node that knows the
+// same site list computes the identical map, so no map distribution
+// mechanism is needed for static clusters.
+func Default(sites []int, shardsPerSite int) *Map {
+	if shardsPerSite < 1 {
+		shardsPerSite = 1
+	}
+	sorted := append([]int(nil), sites...)
+	sort.Ints(sorted)
+	n := len(sorted) * shardsPerSite
+	if n == 0 {
+		return &Map{Version: 1}
+	}
+	width := uint64(math.MaxUint64)/uint64(n) + 1
+	m := &Map{Version: 1}
+	var start uint64
+	for i := 0; i < n; i++ {
+		end := uint64(math.MaxUint64)
+		if i < n-1 {
+			end = start + width - 1
+		}
+		m.Shards = append(m.Shards, Shard{ID: i, Start: start, End: end, Owner: sorted[i%len(sorted)]})
+		start = end + 1
+	}
+	return m
+}
+
+// Format renders the map in the textual shard-map file format:
+//
+//	version <v>
+//	shard <id> <start-hex> <end-hex> <owner-site>
+//	...
+//
+// one shard per line, ranges in hex, sorted by start.
+func (m *Map) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version %d\n", m.Version)
+	for _, s := range m.Shards {
+		fmt.Fprintf(&b, "shard %d %016x %016x %d\n", s.ID, s.Start, s.End, s.Owner)
+	}
+	return b.String()
+}
+
+// Parse reads the textual format produced by Format. Blank lines and
+// #-comments are allowed. The parsed map is validated.
+func Parse(r io.Reader) (*Map, error) {
+	m := &Map{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "version":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("shard: line %d: want \"version <v>\"", line)
+			}
+			v, err := strconv.ParseUint(f[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad version: %v", line, err)
+			}
+			m.Version = v
+		case "shard":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("shard: line %d: want \"shard <id> <start> <end> <owner>\"", line)
+			}
+			id, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad shard id: %v", line, err)
+			}
+			start, err := strconv.ParseUint(f[2], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad start: %v", line, err)
+			}
+			end, err := strconv.ParseUint(f[3], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad end: %v", line, err)
+			}
+			owner, err := strconv.Atoi(f[4])
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad owner: %v", line, err)
+			}
+			m.Shards = append(m.Shards, Shard{ID: id, Start: start, End: end, Owner: owner})
+		default:
+			return nil, fmt.Errorf("shard: line %d: unknown directive %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m.Version == 0 {
+		return nil, fmt.Errorf("shard: map file missing version")
+	}
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Start < m.Shards[j].Start })
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Load parses a shard-map file from disk.
+func Load(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Router turns key-addressed operations into site-addressed ones under one
+// shard map.
+type Router struct {
+	Map *Map
+}
+
+// Site returns the owner site for a key.
+func (r *Router) Site(key string) int { return r.Map.Owner(key) }
+
+// Participants returns the sorted set of owner sites for a key set — the
+// exact commit cohort of a transaction that touched those keys.
+func (r *Router) Participants(keys []string) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range keys {
+		o := r.Map.Owner(k)
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Group buckets keys by owner site, preserving per-site key order — the
+// fan-out plan of a multi-key operation.
+func (r *Router) Group(keys []string) map[int][]string {
+	out := map[int][]string{}
+	for _, k := range keys {
+		o := r.Map.Owner(k)
+		out[o] = append(out[o], k)
+	}
+	return out
+}

@@ -5,24 +5,51 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"nbcommit/internal/metrics"
 )
+
+// Redial backoff bounds: after a dial failure the peer is not dialled again
+// until the backoff window passes, doubling per consecutive failure from
+// DefaultBackoffBase up to DefaultBackoffMax.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
+)
+
+// peerDial tracks redial backoff for one unreachable peer.
+type peerDial struct {
+	failures int       // consecutive dial failures
+	retryAt  time.Time // no dialing before this
+}
 
 // TCPEndpoint attaches a site to a real network: it listens for inbound
 // connections from peers and dials peers on demand, encoding messages with
 // encoding/gob. Connections are cached per destination and re-dialled on
-// failure; delivery to an unreachable peer is silently dropped, matching the
-// crash-stop semantics of the in-memory Network.
+// failure with bounded exponential backoff; delivery to an unreachable peer
+// is dropped (matching the crash-stop semantics of the in-memory Network)
+// and counted, so an operator can tell a quiet peer from a dead one.
 type TCPEndpoint struct {
 	id    int
 	ln    net.Listener
 	inbox chan Message
+
+	// BackoffBase and BackoffMax bound the redial backoff. They default to
+	// DefaultBackoffBase/DefaultBackoffMax and must be set, if at all, before
+	// the first Send.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 
 	mu      sync.Mutex
 	peers   map[int]string // site ID -> address
 	conns   map[int]*gob.Encoder
 	raw     map[int]net.Conn
 	inbound map[net.Conn]bool
+	backoff map[int]*peerDial
 	closed  bool
+
+	dropped metrics.Counter
 
 	wg sync.WaitGroup
 }
@@ -43,6 +70,7 @@ func ListenTCP(id int, addr string, peers map[int]string) (*TCPEndpoint, error) 
 		conns:   map[int]*gob.Encoder{},
 		raw:     map[int]net.Conn{},
 		inbound: map[net.Conn]bool{},
+		backoff: map[int]*peerDial{},
 	}
 	for p, a := range peers {
 		e.peers[p] = a
@@ -56,12 +84,19 @@ func ListenTCP(id int, addr string, peers map[int]string) (*TCPEndpoint, error) 
 // port 0.
 func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 
-// AddPeer registers or updates the address of a peer site.
+// AddPeer registers or updates the address of a peer site. A new address
+// clears any redial backoff accumulated against the old one.
 func (e *TCPEndpoint) AddPeer(id int, addr string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.peers[id] = addr
+	delete(e.backoff, id)
 }
+
+// Dropped returns how many messages this endpoint has dropped: sends to a
+// peer that is unreachable or in redial backoff, sends on a broken
+// connection, and inbound messages discarded on inbox overflow.
+func (e *TCPEndpoint) Dropped() int64 { return e.dropped.Value() }
 
 // ID implements Endpoint.
 func (e *TCPEndpoint) ID() int { return e.id }
@@ -70,7 +105,9 @@ func (e *TCPEndpoint) ID() int { return e.id }
 func (e *TCPEndpoint) Recv() <-chan Message { return e.inbox }
 
 // Send implements Endpoint. Failure to reach the peer drops the message (the
-// cached connection is discarded so a later send re-dials).
+// cached connection is discarded so a later send re-dials), counts the drop,
+// and backs off redialling so a dead peer costs one dial attempt per backoff
+// window instead of one per message.
 func (e *TCPEndpoint) Send(m Message) error {
 	m.From = e.id
 	e.mu.Lock()
@@ -84,10 +121,17 @@ func (e *TCPEndpoint) Send(m Message) error {
 		if !known {
 			return fmt.Errorf("transport: no address for site %d", m.To)
 		}
+		if b := e.backoff[m.To]; b != nil && time.Now().Before(b.retryAt) {
+			e.dropped.Inc()
+			return nil // backing off: message lost, crash-stop semantics
+		}
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
+			e.noteDialFailure(m.To)
+			e.dropped.Inc()
 			return nil // peer down: message lost, crash-stop semantics
 		}
+		delete(e.backoff, m.To)
 		enc = gob.NewEncoder(conn)
 		e.conns[m.To] = enc
 		e.raw[m.To] = conn
@@ -98,9 +142,35 @@ func (e *TCPEndpoint) Send(m Message) error {
 		}
 		delete(e.conns, m.To)
 		delete(e.raw, m.To)
+		e.dropped.Inc()
 		return nil // connection broke: message lost
 	}
 	return nil
+}
+
+// noteDialFailure doubles the peer's redial backoff, bounded by BackoffMax.
+// Caller holds e.mu.
+func (e *TCPEndpoint) noteDialFailure(to int) {
+	base, max := e.BackoffBase, e.BackoffMax
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	b := e.backoff[to]
+	if b == nil {
+		b = &peerDial{}
+		e.backoff[to] = b
+	}
+	d := max
+	if b.failures < 16 { // beyond 2^16 the shift is past any sane max
+		if d = base << b.failures; d > max {
+			d = max
+		}
+	}
+	b.failures++
+	b.retryAt = time.Now().Add(d)
 }
 
 // Close implements Endpoint.
@@ -168,6 +238,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		case e.inbox <- m:
 		default:
 			// Inbox overflow: drop, as the in-memory transport does.
+			e.dropped.Inc()
 		}
 	}
 }

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// reservedAddr returns an address that refuses connections: a port that was
+// briefly listened on and closed.
+func reservedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTCPDeadPeerDropsAreCountedAndBackedOff: every send to an unreachable
+// peer is counted as dropped, and only the first one dials — the rest fall
+// inside the backoff window.
+func TestTCPDeadPeerDropsAreCountedAndBackedOff(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: reservedAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.BackoffBase = time.Second // wide window: sends below never re-dial
+	a.BackoffMax = time.Second
+
+	for i := 0; i < 5; i++ {
+		if err := a.Send(Message{To: 2, Kind: "X"}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if got := a.Dropped(); got != 5 {
+		t.Fatalf("Dropped() = %d, want 5", got)
+	}
+	a.mu.Lock()
+	b := a.backoff[2]
+	a.mu.Unlock()
+	if b == nil || b.failures != 1 {
+		t.Fatalf("backoff state = %+v, want exactly 1 dial failure", b)
+	}
+}
+
+// TestTCPBackoffIsBounded: the redial delay doubles per consecutive failure
+// but never exceeds BackoffMax, even after enough failures to overflow a
+// naive shift.
+func TestTCPBackoffIsBounded(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.BackoffBase = 50 * time.Millisecond
+	a.BackoffMax = 200 * time.Millisecond
+
+	a.mu.Lock()
+	for i := 0; i < 80; i++ {
+		a.noteDialFailure(2)
+	}
+	b := a.backoff[2]
+	a.mu.Unlock()
+	if b.failures != 80 {
+		t.Fatalf("failures = %d", b.failures)
+	}
+	if wait := time.Until(b.retryAt); wait > 250*time.Millisecond {
+		t.Fatalf("backoff %v exceeds the 200ms bound", wait)
+	}
+}
+
+// TestTCPBackoffRecovers: a peer that comes back is reachable again once the
+// backoff window passes, and delivery clears the backoff state.
+func TestTCPBackoffRecovers(t *testing.T) {
+	addr := reservedAddr(t)
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.BackoffBase = 50 * time.Millisecond
+	a.BackoffMax = 50 * time.Millisecond
+
+	if err := a.Send(Message{To: 2, Kind: "LOST"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+
+	b, err := ListenTCP(2, addr, nil)
+	if err != nil {
+		t.Skipf("could not re-listen on %s: %v", addr, err)
+	}
+	defer b.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := a.Send(Message{To: 2, Kind: "BACK"}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-b.Recv():
+			if m.Kind != "BACK" {
+				t.Fatalf("got %v", m)
+			}
+			a.mu.Lock()
+			cleared := a.backoff[2] == nil
+			a.mu.Unlock()
+			if !cleared {
+				t.Fatal("successful dial did not clear backoff state")
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delivery never resumed")
+		}
+	}
+}
+
+// TestTCPAddPeerClearsBackoff: re-addressing a peer forgets the backoff
+// accumulated against the old address.
+func TestTCPAddPeerClearsBackoff(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: reservedAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.BackoffBase = time.Hour
+	a.BackoffMax = time.Hour
+
+	if err := a.Send(Message{To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(2, b.Addr())
+	if err := a.Send(Message{To: 2, Kind: "HI"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.Kind != "HI" {
+		t.Fatalf("got %v", m)
+	}
+}
