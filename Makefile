@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke bench-scaleout smoke-sharded
+.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke bench-scaleout smoke-sharded smoke-obs
 
 all: build vet test
 
@@ -51,6 +51,12 @@ bench-throughput-smoke:
 bench-scaleout:
 	$(GO) run ./cmd/loadgen -mode scaleout -clients 16 -duration 3s \
 		-sites 2,4,8 -cross-shard 0,0.25,1 -out BENCH_shard_scaleout.json
+
+# Observability smoke for CI: starts a kvnode with -obs-addr, commits
+# transactions, scrapes /metrics and asserts the per-phase latency, WAL and
+# transport series are present with samples.
+smoke-obs:
+	$(GO) test -run '^TestObsEndpoints$$' -count=1 -v ./cmd/kvnode
 
 # Sharded smoke for CI: 4-node in-process cluster, mixed single/cross-shard
 # keyed workload; exits nonzero on zero commits or consistency violations.

@@ -27,9 +27,12 @@ import (
 	"nbcommit/internal/engine"
 	"nbcommit/internal/failure"
 	"nbcommit/internal/kv"
+	"nbcommit/internal/metrics"
 	"nbcommit/internal/nodeapi"
+	"nbcommit/internal/obs"
 	"nbcommit/internal/remote"
 	"nbcommit/internal/shard"
+	"nbcommit/internal/trace"
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
 )
@@ -52,6 +55,8 @@ func main() {
 		walNoSync  = flag.Bool("wal-no-sync", false, "skip fsync (throughput experiments only; commits are NOT durable)")
 		shardFile  = flag.String("shardmap", "", "shard map file (empty: deterministic default map over the site list)")
 		shardsPer  = flag.Int("shards-per-site", 4, "shards per site for the default map (ignored with -shardmap)")
+		obsAddr    = flag.String("obs-addr", "", "observability HTTP listener serving /metrics, /healthz and /debug/trace (empty: none)")
+		traceLimit = flag.Int("trace-events", 4096, "protocol trace ring size for /debug/trace (0: tracing off)")
 	)
 	flag.Parse()
 	if *walPath == "" {
@@ -79,6 +84,50 @@ func main() {
 	}
 	defer ep.Close()
 	log.Printf("kvnode %d: cluster on %s (%s, %s)", *id, ep.Addr(), kind, *paradigm)
+
+	// Observability: one registry collects WAL, transport and engine series;
+	// the commit-path families are registered for BOTH protocol kinds so a
+	// scrape always exposes the full schema (only the active kind gets
+	// samples). Tracing uses a bounded ring, safe to leave on indefinitely.
+	reg := metrics.NewRegistry()
+	reg.Help("transport_dropped_total", "Messages dropped: unreachable peers, backoff windows, broken connections, inbox overflow.")
+	reg.CounterFunc("transport_dropped_total", func() float64 { return float64(ep.Dropped()) })
+	reg.Help("transport_redials_total", "Outbound dial attempts (connection churn).")
+	reg.CounterFunc("transport_redials_total", func() float64 { return float64(ep.Redials()) })
+	reg.Help("transport_inbox_depth", "Inbound messages queued but not yet consumed.")
+	reg.GaugeFunc("transport_inbox_depth", func() float64 { return float64(ep.InboxDepth()) })
+	var (
+		walBatchHist = reg.Histogram("wal_batch_records")
+		walSyncHist  = reg.Histogram("wal_sync_latency_seconds")
+		walBytes     = reg.Counter("wal_log_bytes_total")
+		walCompacts  = reg.Counter("wal_compactions_total")
+		walKept      = reg.Gauge("wal_compaction_kept_records")
+		walDropped   = reg.Counter("wal_compaction_dropped_total")
+	)
+	reg.Help("wal_batch_records", "Records per group-commit batch.")
+	reg.Help("wal_sync_latency_seconds", "Write+fsync duration per batch.")
+	reg.Help("wal_log_bytes_total", "Bytes written to the log.")
+	reg.Help("wal_compaction_kept_records", "Records kept by the most recent compaction.")
+	reg.Help("wal_compaction_dropped_total", "Records dropped across all compactions.")
+	walMetrics := wal.Metrics{
+		BatchRecords: func(n int) { walBatchHist.Observe(time.Duration(n)) },
+		SyncLatency:  func(d time.Duration) { walSyncHist.Observe(d) },
+		BatchBytes:   func(n int) { walBytes.Add(int64(n)) },
+		Compaction: func(kept, dropped int) {
+			walCompacts.Inc()
+			walKept.Set(int64(kept))
+			walDropped.Add(int64(dropped))
+		},
+	}
+	engine.NewMetrics(reg, engine.TwoPhase) // expose both protocol families
+	engineMetrics := engine.NewMetrics(reg, engine.ThreePhase)
+	if kind == engine.TwoPhase {
+		engineMetrics = engine.NewMetrics(reg, engine.TwoPhase)
+	}
+	var recorder *trace.Recorder
+	if *traceLimit > 0 {
+		recorder = trace.NewBounded(*traceLimit)
+	}
 
 	ids := []int{*id}
 	for p := range peers {
@@ -119,6 +168,7 @@ func main() {
 	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{
 		NoSync:        *walNoSync,
 		FlushInterval: *walFlush,
+		Metrics:       walMetrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -155,6 +205,8 @@ func main() {
 		Protocol:    kind,
 		Timeout:     *timeout,
 		ForgetAfter: *forget,
+		Trace:       recorder,
+		Metrics:     engineMetrics,
 		Unhandled: func(m transport.Message) {
 			switch m.Kind {
 			case failure.HeartbeatKind:
@@ -173,6 +225,28 @@ func main() {
 	server.SetSite(site) // forwarded commits coordinate on this engine
 	if doubt := site.InDoubt(); len(doubt) > 0 {
 		log.Printf("kvnode %d: recovering %d in-doubt transaction(s): %v", *id, len(doubt), doubt)
+	}
+
+	if *obsAddr != "" {
+		bound, err := obs.ListenAndServe(*obsAddr, &obs.Server{
+			Registry: reg,
+			Trace:    recorder,
+			Health: func() map[string]any {
+				return map[string]any{
+					"site":          *id,
+					"protocol":      kind.String(),
+					"paradigm":      *paradigm,
+					"wal":           *walPath,
+					"shard_version": smap.Version,
+					"in_doubt":      len(site.InDoubt()),
+					"tracked_txns":  len(site.Transactions()),
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("kvnode %d: observability on %s (/metrics /healthz /debug/trace)", *id, bound)
 	}
 
 	if *clientAddr == "" {

@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,17 @@ type scenarioResult struct {
 	HeapStartMB   float64 `json:"heap_start_mb"`
 	HeapEndMB     float64 `json:"heap_end_mb"`
 	ForgetAfterMs float64 `json:"forget_after_ms"`
+	// Phases is the commit-path breakdown sourced from the engine's metrics
+	// registry: votes (begin→full vote round), acks (3PC prepare round),
+	// log_force (WAL record staged→durable), settle (decision→DEC-ACKs).
+	Phases map[string]phaseStats `json:"phase_latency"`
+}
+
+type phaseStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
 }
 
 type report struct {
@@ -136,6 +148,9 @@ func main() {
 			rep.Scenarios = append(rep.Scenarios, *res)
 			fmt.Printf("%-4s %-17s %8.0f commits/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  mean batch %.1f\n",
 				res.Protocol, res.WAL, res.CommitsPerSec, res.P50Ms, res.P95Ms, res.P99Ms, res.WALMeanBatch)
+			if line := phaseLine(res.Phases); line != "" {
+				fmt.Printf("     phases:%s\n", line)
+			}
 		}
 	}
 	rep.Speedup2PC = speedup(rep.Scenarios, "2PC")
@@ -183,6 +198,7 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 
 	var batches, batchRecs, maxBatch atomic.Int64
 	var syncHist metrics.Histogram
+	reg := metrics.NewRegistry()
 	cluster, err := dtx.NewCluster(3, dtx.Options{
 		Protocol:      proto,
 		Timeout:       500 * time.Millisecond,
@@ -191,6 +207,7 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 		SyncWAL:       true,
 		NoGroupCommit: !group,
 		ForgetAfter:   forget,
+		Registry:      reg,
 		WALMetrics: wal.Metrics{
 			BatchRecords: func(n int) {
 				batches.Add(1)
@@ -315,7 +332,36 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 	if b := batches.Load(); b > 0 {
 		res.WALMeanBatch = float64(batchRecs.Load()) / float64(b)
 	}
+
+	// Per-phase commit-path breakdown, straight from the engine's registry
+	// (the same histograms a kvnode exports on /metrics).
+	res.Phases = map[string]phaseStats{}
+	for phase, h := range engine.NewMetrics(reg, proto).Phases() {
+		if h.Count() == 0 {
+			continue
+		}
+		res.Phases[phase] = phaseStats{
+			Count:  int64(h.Count()),
+			MeanMs: ms2(h.Mean()),
+			P50Ms:  ms2(h.Quantile(0.50)),
+			P99Ms:  ms2(h.Quantile(0.99)),
+		}
+	}
 	return res, nil
+}
+
+// phaseLine formats the phase breakdown for the console report, in
+// commit-path order.
+func phaseLine(phases map[string]phaseStats) string {
+	var b strings.Builder
+	for _, name := range []string{"votes", "acks", "log_force", "settle"} {
+		p, ok := phases[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s p50 %.2fms p99 %.2fms", name, p.P50Ms, p.P99Ms)
+	}
+	return b.String()
 }
 
 func ms2(d time.Duration) float64 {

@@ -18,6 +18,7 @@ import (
 	"nbcommit/internal/engine"
 	"nbcommit/internal/failure"
 	"nbcommit/internal/kv"
+	"nbcommit/internal/metrics"
 	"nbcommit/internal/shard"
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
@@ -115,6 +116,10 @@ type Options struct {
 	FlushInterval time.Duration
 	// WALMetrics receives each site's batch-size and sync-latency samples.
 	WALMetrics wal.Metrics
+	// Registry, when set, instruments every site's commit path into one
+	// shared metrics registry (per-phase latency, commit latency, gauges —
+	// see engine.NewMetrics). Samples from all sites aggregate.
+	Registry *metrics.Registry
 	// ForgetAfter enables the engine's auto-forget of settled transactions
 	// (see engine.Config.ForgetAfter). Zero keeps them forever.
 	ForgetAfter time.Duration
@@ -213,6 +218,9 @@ func (c *Cluster) addNode(id int, priorLog wal.Log) error {
 		Protocol:    c.opts.Protocol,
 		Timeout:     c.opts.Timeout,
 		ForgetAfter: c.opts.ForgetAfter,
+	}
+	if c.opts.Registry != nil {
+		cfg.Metrics = engine.NewMetrics(c.opts.Registry, c.opts.Protocol)
 	}
 	var site *engine.Site
 	if priorLog != nil {

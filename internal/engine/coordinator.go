@@ -33,6 +33,9 @@ func (s *Site) Begin(txid string, participants []int) error {
 	t.meta = meta
 	t.votes = map[int]bool{}
 	t.acks = map[int]bool{}
+	if s.metrics != nil {
+		t.begunAt = s.clk.Now()
+	}
 	s.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: encodeMeta(meta)})
 	s.armTimer(t, s.timeout)
 
@@ -118,6 +121,10 @@ func (s *Site) maybeAllVotes(t *txState) {
 		if p != s.id && !t.votes[p] {
 			return
 		}
+	}
+	if s.metrics != nil && !t.begunAt.IsZero() {
+		t.votesAt = s.clk.Now()
+		s.metrics.votes.Observe(t.votesAt.Sub(t.begunAt))
 	}
 	if s.kind == TwoPhase {
 		s.decideCommit(t)

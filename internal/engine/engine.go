@@ -235,6 +235,14 @@ type txState struct {
 
 	timer clock.Timer // participant decision / coordinator collection timer
 	done  chan struct{}
+
+	// Metrics timestamps (zero unless Config.Metrics is set and this site
+	// coordinates the transaction): Begin time, vote-round completion,
+	// decision time, and whether settle latency was already observed.
+	begunAt   time.Time
+	votesAt   time.Time
+	decidedAt time.Time
+	settled   bool
 }
 
 func (t *txState) resolved() bool {
@@ -288,8 +296,15 @@ type Config struct {
 	// site's event loop; keep it fast.
 	Unhandled func(transport.Message)
 	// Trace, when set, records the site's protocol events (votes, state
-	// transitions, termination and recovery milestones).
+	// transitions, termination and recovery milestones). Production nodes
+	// should use a bounded recorder (trace.NewBounded) so the trace can stay
+	// on indefinitely.
 	Trace *trace.Recorder
+	// Metrics, when set, instruments the commit path: per-phase latency
+	// histograms, commit latency, resolution counters, and per-site
+	// transaction-table/timer gauges (see NewMetrics). Nil disables all
+	// instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 // Site executes commit protocols for one node. Create with New, start with
@@ -308,6 +323,7 @@ type Site struct {
 	determin    bool
 	unhandled   func(transport.Message)
 	trace       *trace.Recorder
+	metrics     *Metrics
 
 	mu       sync.Mutex
 	txns     map[string]*txState
@@ -417,6 +433,7 @@ func New(cfg Config) (*Site, error) {
 		determin:    cfg.Deterministic,
 		unhandled:   cfg.Unhandled,
 		trace:       cfg.Trace,
+		metrics:     cfg.Metrics,
 		txns:        map[string]*txState{},
 		arrivals:    map[string]*arrival{},
 		events:      make(chan event, 1024),
@@ -427,6 +444,9 @@ func New(cfg Config) (*Site, error) {
 	// synchronously, so staging is only used outside deterministic mode.
 	if sl, ok := cfg.Log.(wal.StagedLog); ok && !cfg.Deterministic {
 		s.slog = sl
+	}
+	if s.metrics != nil {
+		s.metrics.registerSiteGauges(s)
 	}
 	return s, nil
 }
@@ -665,14 +685,28 @@ func (s *Site) mustLog(rec wal.Record) {
 	if s.slog != nil && s.live {
 		g := &actGroup{}
 		s.pending = append(s.pending, g)
+		var stagedAt time.Time
+		if s.metrics != nil {
+			stagedAt = s.clk.Now()
+		}
 		s.slog.AppendStaged(rec, func(_ uint64, err error) {
+			if s.metrics != nil {
+				s.metrics.forceWait.Observe(s.clk.Now().Sub(stagedAt))
+			}
 			g.err = err
 			s.dispatch(event{durable: g})
 		})
 		return
 	}
+	var start time.Time
+	if s.metrics != nil {
+		start = s.clk.Now()
+	}
 	if _, err := s.log.Append(rec); err != nil {
 		panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, err))
+	}
+	if s.metrics != nil {
+		s.metrics.forceWait.Observe(s.clk.Now().Sub(start))
 	}
 }
 
@@ -799,6 +833,7 @@ func (s *Site) resolve(t *txState, o Outcome) {
 	if t.resolved() {
 		return
 	}
+	s.observeResolve(t, o)
 	id, redo, detached := t.id, t.redo, t.detached
 	if o == OutcomeCommitted {
 		s.record("commit", t.id, "")
@@ -833,6 +868,44 @@ func (s *Site) resolve(t *txState, o Outcome) {
 	done := t.done
 	s.act(func() { close(done) })
 	s.scheduleGC(t)
+}
+
+// observeResolve records resolution metrics for a transaction about to be
+// resolved: outcome counters at every role, and — at the coordinator —
+// begin→decision latency plus the 3PC ack-round phase. Requires s.mu held.
+func (s *Site) observeResolve(t *txState, o Outcome) {
+	if s.metrics == nil {
+		return
+	}
+	now := s.clk.Now()
+	t.decidedAt = now
+	if o == OutcomeCommitted {
+		s.metrics.committed.Inc()
+	} else {
+		s.metrics.aborted.Inc()
+	}
+	if !t.coordinator || t.begunAt.IsZero() {
+		return
+	}
+	if o == OutcomeCommitted {
+		s.metrics.commit.Observe(now.Sub(t.begunAt))
+	} else {
+		s.metrics.abort.Observe(now.Sub(t.begunAt))
+	}
+	if s.kind == ThreePhase && !t.votesAt.IsZero() {
+		s.metrics.acks.Observe(now.Sub(t.votesAt))
+	}
+}
+
+// observeSettle records decision→full-DEC-ACK latency once per coordinated
+// transaction, when the last participant's acknowledgement arrives.
+// Requires s.mu held.
+func (s *Site) observeSettle(t *txState) {
+	if s.metrics == nil || t.settled || t.decidedAt.IsZero() {
+		return
+	}
+	t.settled = true
+	s.metrics.settle.Observe(s.clk.Now().Sub(t.decidedAt))
 }
 
 // tx returns (creating if needed) the transaction record. Requires s.mu

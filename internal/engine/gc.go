@@ -33,6 +33,9 @@ func (s *Site) scheduleGC(t *txState) {
 		if t.decAcks == nil {
 			t.decAcks = map[int]bool{}
 		}
+		if s.decAcksComplete(t) {
+			s.observeSettle(t) // single-site cohort: nothing to collect
+		}
 		s.armTimer(t, s.forgetAfter)
 		return
 	}
@@ -94,6 +97,7 @@ func (s *Site) onDecAck(m transport.Message) {
 	}
 	t.decAcks[m.From] = true
 	if s.decAcksComplete(t) {
+		s.observeSettle(t)
 		// Do not forget inline: give local waiters the same grace period the
 		// participants get — an in-process cohort can acknowledge before the
 		// client that started the transaction has even asked for the outcome.

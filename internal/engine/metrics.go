@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+
+	"nbcommit/internal/metrics"
+)
+
+// Metrics instruments a site's commit path into a metrics.Registry:
+//
+//   - engine_phase_latency_seconds{protocol,phase} — the coordinator's view
+//     of each protocol phase: "votes" (Begin until the full YES round is
+//     in), "acks" (3PC only: vote round until the commit decision, i.e. the
+//     paper's extra prepare round — the measurable price of nonblocking),
+//     "settle" (decision forced until every participant's DEC-ACK arrived)
+//     and "log_force" (a WAL record staged until its batch is durable).
+//   - engine_commit_latency_seconds{protocol,outcome} — Begin to decision.
+//   - engine_resolutions_total{protocol,outcome} — local resolutions at any
+//     role, coordinator or participant.
+//   - engine_transactions_tracked{site} / engine_timers_active{site} —
+//     transaction-table and armed-timer gauges, registered per Site.
+//
+// NewMetrics is idempotent for the same registry and protocol kind (the
+// registry dedups series), so any number of sites may share one Metrics —
+// or one registry — and their samples aggregate.
+type Metrics struct {
+	reg       *metrics.Registry
+	votes     *metrics.Histogram
+	acks      *metrics.Histogram
+	settle    *metrics.Histogram
+	forceWait *metrics.Histogram
+	commit    *metrics.Histogram
+	abort     *metrics.Histogram
+	committed *metrics.Counter
+	aborted   *metrics.Counter
+}
+
+// NewMetrics registers (or re-binds) the commit-path series for one
+// protocol kind in reg. Pass the result to Config.Metrics.
+func NewMetrics(reg *metrics.Registry, kind ProtocolKind) *Metrics {
+	p := kind.String()
+	reg.Help("engine_phase_latency_seconds", "Commit protocol per-phase latency, coordinator view.")
+	reg.Help("engine_commit_latency_seconds", "Begin-to-decision latency at the coordinator.")
+	reg.Help("engine_resolutions_total", "Transactions resolved locally, any role.")
+	m := &Metrics{
+		reg:       reg,
+		votes:     reg.Histogram("engine_phase_latency_seconds", "protocol", p, "phase", "votes"),
+		acks:      reg.Histogram("engine_phase_latency_seconds", "protocol", p, "phase", "acks"),
+		settle:    reg.Histogram("engine_phase_latency_seconds", "protocol", p, "phase", "settle"),
+		forceWait: reg.Histogram("engine_phase_latency_seconds", "protocol", p, "phase", "log_force"),
+		commit:    reg.Histogram("engine_commit_latency_seconds", "protocol", p, "outcome", "committed"),
+		abort:     reg.Histogram("engine_commit_latency_seconds", "protocol", p, "outcome", "aborted"),
+		committed: reg.Counter("engine_resolutions_total", "protocol", p, "outcome", "committed"),
+		aborted:   reg.Counter("engine_resolutions_total", "protocol", p, "outcome", "aborted"),
+	}
+	return m
+}
+
+// Phases returns the per-phase latency histograms keyed by phase name, for
+// report generators (cmd/loadgen's phase breakdown).
+func (m *Metrics) Phases() map[string]*metrics.Histogram {
+	return map[string]*metrics.Histogram{
+		"votes":     m.votes,
+		"acks":      m.acks,
+		"settle":    m.settle,
+		"log_force": m.forceWait,
+	}
+}
+
+// registerSiteGauges binds the per-site transaction-table and timer gauges
+// to s. GaugeFunc replaces the reader on re-registration, so a site
+// recovered under the same ID takes its series over.
+func (m *Metrics) registerSiteGauges(s *Site) {
+	if m.reg == nil {
+		return
+	}
+	site := fmt.Sprint(s.id)
+	m.reg.Help("engine_transactions_tracked", "Transactions currently in the site's transaction table.")
+	m.reg.GaugeFunc("engine_transactions_tracked", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.txns))
+	}, "site", site)
+	m.reg.Help("engine_timers_active", "Transactions with an armed protocol or GC timer.")
+	m.reg.GaugeFunc("engine_timers_active", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, t := range s.txns {
+			if t.timer != nil {
+				n++
+			}
+		}
+		return float64(n)
+	}, "site", site)
+}

@@ -138,6 +138,13 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum / h.count)
 }
 
+// Sum returns the exact sum of all samples.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Min returns the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()

@@ -1,0 +1,101 @@
+// Package obs serves a node's observability endpoints over HTTP:
+//
+//	/metrics      Prometheus text exposition of a metrics.Registry
+//	/healthz      liveness JSON (status, uptime, caller-supplied fields)
+//	/debug/trace  the most recent protocol events from a trace.Recorder
+//
+// The handler is deliberately dependency-free (net/http only) and safe to
+// leave enabled in production: /metrics walks fixed-size instruments and
+// /debug/trace reads a bounded ring.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nbcommit/internal/metrics"
+	"nbcommit/internal/trace"
+)
+
+// Server assembles a node's observability endpoints.
+type Server struct {
+	// Registry backs /metrics. Required.
+	Registry *metrics.Registry
+	// Trace backs /debug/trace; nil serves an empty trace.
+	Trace *trace.Recorder
+	// Health, when set, contributes extra fields to the /healthz body
+	// (site ID, protocol, in-doubt count, ...). Called per request.
+	Health func() map[string]any
+
+	start time.Time
+}
+
+// Handler returns the HTTP handler serving the three endpoints.
+func (s *Server) Handler() http.Handler {
+	s.start = time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/debug/trace", s.trace)
+	return mux
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.Registry != nil {
+		_ = s.Registry.WritePrometheus(w)
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	}
+	if s.Health != nil {
+		for k, v := range s.Health() {
+			body[k] = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// trace renders the recorder's retained events, oldest first. ?n=K keeps
+// only the last K lines.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Trace == nil {
+		fmt.Fprintln(w, "# tracing disabled")
+		return
+	}
+	evs := s.Trace.Events()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+	}
+	fmt.Fprintf(w, "# %d events retained, %d recorded, %d overwritten\n",
+		len(evs), s.Trace.Total(), s.Trace.Dropped())
+	for _, e := range evs {
+		fmt.Fprintf(w, "%s %s\n", e.At.Format(time.RFC3339Nano), e)
+	}
+}
+
+// ListenAndServe starts the observability listener on addr in a background
+// goroutine, returning the bound address (useful with ":0"). The server
+// lives until the process exits; errors after startup are ignored, matching
+// the endpoint's best-effort role.
+func ListenAndServe(addr string, s *Server) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nbcommit/internal/metrics"
+	"nbcommit/internal/trace"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Help("demo_total", "A demo counter.")
+	reg.Counter("demo_total", "site", "1").Add(5)
+	rec := trace.NewBounded(4)
+	rec.Add(1, "VOTE-REQ", "t1", "")
+	rec.Add(2, "YES", "t1", "")
+	s := &Server{
+		Registry: reg,
+		Trace:    rec,
+		Health:   func() map[string]any { return map[string]any{"site": 1} },
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	body, resp := get(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# HELP demo_total A demo counter.",
+		"# TYPE demo_total counter",
+		`demo_total{site="1"} 5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	body, _ := get(t, ts.URL+"/healthz")
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if got["status"] != "ok" {
+		t.Fatalf("status = %v", got["status"])
+	}
+	if got["site"] != float64(1) {
+		t.Fatalf("caller field missing: %v", got)
+	}
+	if _, ok := got["uptime_s"]; !ok {
+		t.Fatal("uptime_s missing")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	body, _ := get(t, ts.URL+"/debug/trace")
+	if !strings.Contains(body, "# 2 events retained, 2 recorded, 0 overwritten") {
+		t.Fatalf("trace header wrong:\n%s", body)
+	}
+	if !strings.Contains(body, "site 1: VOTE-REQ tx=t1") || !strings.Contains(body, "site 2: YES tx=t1") {
+		t.Fatalf("trace events missing:\n%s", body)
+	}
+	// ?n= limits to the most recent K events.
+	body, _ = get(t, ts.URL+"/debug/trace?n=1")
+	if strings.Contains(body, "VOTE-REQ") || !strings.Contains(body, "YES") {
+		t.Fatalf("?n=1 did not keep only the newest event:\n%s", body)
+	}
+}
+
+func TestTraceEndpointDisabled(t *testing.T) {
+	s := &Server{Registry: metrics.NewRegistry()}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := get(t, ts.URL+"/debug/trace")
+	if !strings.Contains(body, "tracing disabled") {
+		t.Fatalf("nil recorder body:\n%s", body)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	s := &Server{Registry: metrics.NewRegistry()}
+	addr, err := ListenAndServe("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, resp := get(t, "http://"+addr+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+}

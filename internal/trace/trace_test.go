@@ -49,6 +49,77 @@ func TestFilterAndReset(t *testing.T) {
 	}
 }
 
+func TestBoundedRecorderOverwritesOldest(t *testing.T) {
+	r := NewBounded(3)
+	for i := 0; i < 5; i++ {
+		r.Add(1, string(rune('A'+i)), "t", "")
+	}
+	kinds := r.Kinds()
+	if len(kinds) != 3 || kinds[0] != "C" || kinds[1] != "D" || kinds[2] != "E" {
+		t.Fatalf("kinds = %v, want [C D E]", kinds)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestBoundedRecorderUnderLimit(t *testing.T) {
+	r := NewBounded(10)
+	r.Add(1, "A", "t", "")
+	r.Add(2, "B", "t", "")
+	kinds := r.Kinds()
+	if len(kinds) != 2 || kinds[0] != "A" || kinds[1] != "B" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestBoundedRecorderReset(t *testing.T) {
+	r := NewBounded(2)
+	for i := 0; i < 5; i++ {
+		r.Add(1, "E", "t", "")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("reset left state: events=%d total=%d dropped=%d",
+			len(r.Events()), r.Total(), r.Dropped())
+	}
+	// The bound survives a reset.
+	for i := 0; i < 5; i++ {
+		r.Add(1, "F", "t", "")
+	}
+	if len(r.Events()) != 2 {
+		t.Fatalf("bound lost after reset: %d events", len(r.Events()))
+	}
+}
+
+func TestBoundedRecorderConcurrent(t *testing.T) {
+	r := NewBounded(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Add(site, "E", "t", "")
+				_ = r.Events()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 64 {
+		t.Fatalf("retained = %d, want 64", got)
+	}
+	if r.Total() != 1600 || r.Dropped() != 1600-64 {
+		t.Fatalf("total = %d dropped = %d", r.Total(), r.Dropped())
+	}
+}
+
 func TestRecorderConcurrent(t *testing.T) {
 	var r Recorder
 	var wg sync.WaitGroup

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nbcommit/internal/metrics"
@@ -35,11 +36,11 @@ type TCPEndpoint struct {
 	ln    net.Listener
 	inbox chan Message
 
-	// BackoffBase and BackoffMax bound the redial backoff. They default to
-	// DefaultBackoffBase/DefaultBackoffMax and must be set, if at all, before
-	// the first Send.
-	BackoffBase time.Duration
-	BackoffMax  time.Duration
+	// backoffBase and backoffMax bound the redial backoff, in nanoseconds;
+	// zero means the defaults. Atomic so SetBackoff is safe at any time,
+	// including concurrently with Send.
+	backoffBase atomic.Int64
+	backoffMax  atomic.Int64
 
 	mu      sync.Mutex
 	peers   map[int]string // site ID -> address
@@ -50,8 +51,18 @@ type TCPEndpoint struct {
 	closed  bool
 
 	dropped metrics.Counter
+	redials metrics.Counter
 
 	wg sync.WaitGroup
+}
+
+// SetBackoff bounds the redial backoff: after a dial failure the peer is
+// not dialled again until the window passes, doubling per consecutive
+// failure from base up to max. Non-positive values select the defaults.
+// Safe to call at any time, even concurrently with Send.
+func (e *TCPEndpoint) SetBackoff(base, max time.Duration) {
+	e.backoffBase.Store(int64(base))
+	e.backoffMax.Store(int64(max))
 }
 
 // ListenTCP starts a TCP endpoint for site id on addr (e.g. "127.0.0.1:0").
@@ -98,6 +109,15 @@ func (e *TCPEndpoint) AddPeer(id int, addr string) {
 // connection, and inbound messages discarded on inbox overflow.
 func (e *TCPEndpoint) Dropped() int64 { return e.dropped.Value() }
 
+// Redials returns how many outbound dials this endpoint has attempted —
+// connection churn: a healthy cluster dials each peer once, so a growing
+// count means peers are flapping or unreachable.
+func (e *TCPEndpoint) Redials() int64 { return e.redials.Value() }
+
+// InboxDepth returns how many inbound messages are queued but not yet
+// consumed; a depth pinned near the inbox capacity precedes overflow drops.
+func (e *TCPEndpoint) InboxDepth() int { return len(e.inbox) }
+
 // ID implements Endpoint.
 func (e *TCPEndpoint) ID() int { return e.id }
 
@@ -125,6 +145,7 @@ func (e *TCPEndpoint) Send(m Message) error {
 			e.dropped.Inc()
 			return nil // backing off: message lost, crash-stop semantics
 		}
+		e.redials.Inc()
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			e.noteDialFailure(m.To)
@@ -148,10 +169,11 @@ func (e *TCPEndpoint) Send(m Message) error {
 	return nil
 }
 
-// noteDialFailure doubles the peer's redial backoff, bounded by BackoffMax.
-// Caller holds e.mu.
+// noteDialFailure doubles the peer's redial backoff, bounded by the
+// SetBackoff maximum. Caller holds e.mu.
 func (e *TCPEndpoint) noteDialFailure(to int) {
-	base, max := e.BackoffBase, e.BackoffMax
+	base := time.Duration(e.backoffBase.Load())
+	max := time.Duration(e.backoffMax.Load())
 	if base <= 0 {
 		base = DefaultBackoffBase
 	}

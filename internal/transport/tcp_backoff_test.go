@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -28,8 +29,7 @@ func TestTCPDeadPeerDropsAreCountedAndBackedOff(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	a.BackoffBase = time.Second // wide window: sends below never re-dial
-	a.BackoffMax = time.Second
+	a.SetBackoff(time.Second, time.Second) // wide window: sends below never re-dial
 
 	for i := 0; i < 5; i++ {
 		if err := a.Send(Message{To: 2, Kind: "X"}); err != nil {
@@ -48,7 +48,7 @@ func TestTCPDeadPeerDropsAreCountedAndBackedOff(t *testing.T) {
 }
 
 // TestTCPBackoffIsBounded: the redial delay doubles per consecutive failure
-// but never exceeds BackoffMax, even after enough failures to overflow a
+// but never exceeds the configured maximum, even after enough failures to overflow a
 // naive shift.
 func TestTCPBackoffIsBounded(t *testing.T) {
 	a, err := ListenTCP(1, "127.0.0.1:0", nil)
@@ -56,8 +56,7 @@ func TestTCPBackoffIsBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	a.BackoffBase = 50 * time.Millisecond
-	a.BackoffMax = 200 * time.Millisecond
+	a.SetBackoff(50*time.Millisecond, 200*time.Millisecond)
 
 	a.mu.Lock()
 	for i := 0; i < 80; i++ {
@@ -82,8 +81,7 @@ func TestTCPBackoffRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	a.BackoffBase = 50 * time.Millisecond
-	a.BackoffMax = 50 * time.Millisecond
+	a.SetBackoff(50*time.Millisecond, 50*time.Millisecond)
 
 	if err := a.Send(Message{To: 2, Kind: "LOST"}); err != nil {
 		t.Fatal(err)
@@ -130,8 +128,7 @@ func TestTCPAddPeerClearsBackoff(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	a.BackoffBase = time.Hour
-	a.BackoffMax = time.Hour
+	a.SetBackoff(time.Hour, time.Hour)
 
 	if err := a.Send(Message{To: 2}); err != nil {
 		t.Fatal(err)
@@ -147,5 +144,41 @@ func TestTCPAddPeerClearsBackoff(t *testing.T) {
 	}
 	if m := recvOne(t, b); m.Kind != "HI" {
 		t.Fatalf("got %v", m)
+	}
+}
+
+// TestTCPSetBackoffConcurrentWithSend: backoff bounds may be (re)configured
+// while sends are in flight — the old "must be set before first Send" plain
+// fields were a data race under exactly this schedule.
+func TestTCPSetBackoffConcurrentWithSend(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: reservedAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			a.SetBackoff(time.Duration(i+1)*time.Millisecond, time.Second)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := a.Send(Message{To: 2, Kind: "X"}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if a.Dropped() == 0 {
+		t.Fatal("expected drops against an unreachable peer")
+	}
+	if a.Redials() == 0 {
+		t.Fatal("expected at least one dial attempt to be counted")
 	}
 }

@@ -4,7 +4,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
+
+// syncDir fsyncs a directory, making a rename within it durable: without
+// this, a crash just after the rename can roll the directory entry back to
+// the old (now deleted) file on some filesystems. A package variable so the
+// crash tests can observe and fail it.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// seekEnd positions a file at its end. A package variable so tests can fail
+// the post-rename seek and check the log survives.
+var seekEnd = func(f *os.File) (int64, error) { return f.Seek(0, io.SeekEnd) }
 
 // Compact rewrites the log in place, dropping every record of transactions
 // whose replayed status is StatusEnded (fully applied and garbage-collected
@@ -72,13 +90,25 @@ func (l *FileLog) Compact() (kept, dropped int, err error) {
 		os.Remove(tmpPath)
 		return 0, 0, fmt.Errorf("wal: compact rename: %w", err)
 	}
-	if _, err := out.Seek(0, io.SeekEnd); err != nil {
-		out.Close()
-		return 0, 0, err
-	}
+	// The rename succeeded, so out IS the log now: swap the handle before
+	// anything below can fail, or a later append would land on the old,
+	// renamed-away inode and silently vanish. out's write position is
+	// already at end-of-file (the rewrite loop left it there), so the log
+	// stays appendable even if the defensive seek below fails.
 	old := l.f
 	l.f = out
 	old.Close()
+	// Make the rename itself durable: fsync the parent directory, or a
+	// crash right here can lose the compacted file on some filesystems.
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		return kept, dropped, fmt.Errorf("wal: compact dir sync: %w", err)
+	}
+	if _, err := seekEnd(out); err != nil {
+		return kept, dropped, fmt.Errorf("wal: compact seek: %w", err)
+	}
+	if l.metrics.Compaction != nil {
+		l.metrics.Compaction(kept, dropped)
+	}
 	return kept, dropped, nil
 }
 

@@ -165,13 +165,20 @@ func (l *MemoryLog) Reopen() {
 	l.closed = false
 }
 
-// Metrics receives observations from a FileLog's flusher. Nil fields are
-// skipped; the hooks are called on the flushing goroutine and must be fast.
+// Metrics receives observations from a FileLog. Nil fields are skipped; the
+// hooks are called on the observing goroutine (the flusher for batch hooks,
+// the compacting goroutine for Compaction) and must be fast.
 type Metrics struct {
 	// BatchRecords observes the number of records in each flushed batch.
 	BatchRecords func(n int)
 	// SyncLatency observes the write+fsync duration of each batch.
 	SyncLatency func(d time.Duration)
+	// BatchBytes observes the bytes written per flushed batch; summing it
+	// gives the total log bytes written.
+	BatchBytes func(n int)
+	// Compaction observes each successful Compact: how many records the
+	// rewrite kept and dropped.
+	Compaction func(kept, dropped int)
 }
 
 // FileLog is a disk-backed StagedLog with group commit. Records are
@@ -482,6 +489,9 @@ func (l *FileLog) flush() {
 	}
 	if l.metrics.SyncLatency != nil {
 		l.metrics.SyncLatency(elapsed)
+	}
+	if l.metrics.BatchBytes != nil {
+		l.metrics.BatchBytes(nbytes)
 	}
 	for _, r := range batch {
 		r.fn(r.lsn, err)
