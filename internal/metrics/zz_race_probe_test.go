@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExportVsRegisterRace(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 3000; i++ {
+		r.Counter("seed_total", "l", fmt.Sprint(-i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				_ = r.WritePrometheus(io.Discard)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				r.Counter("seed_total", "l", fmt.Sprintf("%d-%d", g, i))
+			}
+		}()
+	}
+	wg.Wait()
+}
