@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke bench-scaleout smoke-sharded smoke-obs
+.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke bench-transport bench-transport-smoke bench-scaleout smoke-sharded smoke-obs
 
 all: build vet test
 
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzScan$$' -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeWrites$$' -fuzztime=$(FUZZTIME) ./internal/kv
 	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz='^FuzzWireCodec$$' -fuzztime=$(FUZZTIME) ./internal/transport
 
 # Deterministic simulation sweep: exhaustive crash-point enumeration plus
 # $(DST_SEEDS) random failure schedules per protocol.
@@ -43,6 +44,18 @@ bench-throughput:
 # Short smoke for CI: same harness, small load, throwaway output.
 bench-throughput-smoke:
 	$(GO) run ./cmd/loadgen -clients 8 -duration 500ms -warmup 200ms -out /tmp/bench-smoke.json
+
+# Transport microbenchmark: raw message throughput and latency between two
+# TCP endpoints on loopback, gob vs binary codec, coalescing on and off, at
+# 1/8/64-byte bodies. Exits nonzero on zero throughput or corrupted bodies.
+# Emits BENCH_transport.json.
+bench-transport:
+	$(GO) run ./cmd/loadgen -mode transport -duration 3s -bodies 1,8,64 -out BENCH_transport.json
+
+# Short smoke for CI: same sweep at one body size, throwaway output.
+bench-transport-smoke:
+	$(GO) run ./cmd/loadgen -mode transport -duration 300ms -warmup 100ms \
+		-bodies 64 -out /tmp/transport-smoke.json
 
 # Scale-out: keyed (shard-routed) transactions over growing clusters, sweeping
 # the cross-shard ratio, with -clients per site (weak scaling). Single-shard

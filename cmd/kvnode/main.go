@@ -57,6 +57,9 @@ func main() {
 		shardsPer  = flag.Int("shards-per-site", 4, "shards per site for the default map (ignored with -shardmap)")
 		obsAddr    = flag.String("obs-addr", "", "observability HTTP listener serving /metrics, /healthz and /debug/trace (empty: none)")
 		traceLimit = flag.Int("trace-events", 4096, "protocol trace ring size for /debug/trace (0: tracing off)")
+		tpCodec    = flag.String("transport-codec", "binary", "wire codec for outbound cluster messages: binary or gob (inbound auto-detects)")
+		tpNoCoal   = flag.Bool("transport-no-coalesce", false, "write queued messages one per syscall instead of coalescing batches")
+		tpQueue    = flag.Int("transport-queue", 0, "per-peer outbound queue capacity; a full queue drops, crash-stop style (0: default)")
 	)
 	flag.Parse()
 	if *walPath == "" {
@@ -78,24 +81,51 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ep, err := transport.ListenTCP(*id, *listen, peers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ep.Close()
-	log.Printf("kvnode %d: cluster on %s (%s, %s)", *id, ep.Addr(), kind, *paradigm)
-
 	// Observability: one registry collects WAL, transport and engine series;
 	// the commit-path families are registered for BOTH protocol kinds so a
 	// scrape always exposes the full schema (only the active kind gets
 	// samples). Tracing uses a bounded ring, safe to leave on indefinitely.
+	// Built before the endpoint so the transport can feed its batch-size
+	// histogram from the writer path.
 	reg := metrics.NewRegistry()
-	reg.Help("transport_dropped_total", "Messages dropped: unreachable peers, backoff windows, broken connections, inbox overflow.")
-	reg.CounterFunc("transport_dropped_total", func() float64 { return float64(ep.Dropped()) })
+	reg.Help("transport_batch_msgs", "Messages per coalesced write (1 with coalescing off).")
+	batchHist := reg.Histogram("transport_batch_msgs")
+
+	var codec transport.Codec
+	switch *tpCodec {
+	case "binary":
+		codec = transport.CodecBinary
+	case "gob":
+		codec = transport.CodecGob
+	default:
+		log.Fatalf("kvnode: unknown transport codec %q", *tpCodec)
+	}
+	ep, err := transport.ListenTCPOpts(*id, *listen, peers, transport.TCPOptions{
+		Codec:      codec,
+		NoCoalesce: *tpNoCoal,
+		QueueSize:  *tpQueue,
+		BatchSize:  func(n int) { batchHist.Observe(time.Duration(n)) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	log.Printf("kvnode %d: cluster on %s (%s, %s, %s codec)", *id, ep.Addr(), kind, *paradigm, codec)
+
+	reg.Help("transport_dropped_total", "Messages dropped, by cause: backoff window, failed dial, broken write, inbox overflow, full send queue.")
+	for _, c := range transport.DropCauses {
+		c := c
+		reg.CounterFunc("transport_dropped_total", func() float64 { return float64(ep.DroppedCause(c)) }, "cause", c.String())
+	}
 	reg.Help("transport_redials_total", "Outbound dial attempts (connection churn).")
 	reg.CounterFunc("transport_redials_total", func() float64 { return float64(ep.Redials()) })
 	reg.Help("transport_inbox_depth", "Inbound messages queued but not yet consumed.")
 	reg.GaugeFunc("transport_inbox_depth", func() float64 { return float64(ep.InboxDepth()) })
+	reg.Help("transport_send_queue_depth", "Outbound messages queued per peer, awaiting the writer.")
+	for p := range peers {
+		p := p
+		reg.GaugeFunc("transport_send_queue_depth", func() float64 { return float64(ep.QueueDepth(p)) }, "peer", strconv.Itoa(p))
+	}
 	var (
 		walBatchHist = reg.Histogram("wal_batch_records")
 		walSyncHist  = reg.Histogram("wal_sync_latency_seconds")

@@ -107,8 +107,15 @@ func TestObsEndpoints(t *testing.T) {
 		"# TYPE wal_batch_records summary",
 		"# TYPE wal_sync_latency_seconds summary",
 		"wal_log_bytes_total",
-		// Transport series.
+		// Transport series: drops split by cause, plus the coalescing
+		// histogram fed from the writer path.
 		"# TYPE transport_dropped_total counter",
+		`transport_dropped_total{cause="backoff"}`,
+		`transport_dropped_total{cause="dial"}`,
+		`transport_dropped_total{cause="write"}`,
+		`transport_dropped_total{cause="inbox_overflow"}`,
+		`transport_dropped_total{cause="queue_full"}`,
+		"# TYPE transport_batch_msgs summary",
 		"# TYPE transport_redials_total counter",
 		"transport_inbox_depth",
 	} {

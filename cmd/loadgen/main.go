@@ -12,10 +12,15 @@
 // show that commit cost follows the touched cohort, not the cluster (see
 // scaleout.go).
 //
+// -mode transport: raw TCP transport throughput and latency over loopback,
+// swept over wire codec (gob vs binary), message coalescing (on vs off) and
+// body size (see transport.go).
+//
 // Either way the run is written as JSON so the bench trajectory can track it.
 //
 //	loadgen -clients 64 -duration 5s -out BENCH_commit_throughput.json
 //	loadgen -mode scaleout -sites 2,4,8 -cross-shard 0,0.25,1 -out BENCH_shard_scaleout.json
+//	loadgen -mode transport -bodies 1,8,64 -out BENCH_transport.json
 package main
 
 import (
@@ -84,16 +89,18 @@ type report struct {
 
 func main() {
 	var (
-		mode      = flag.String("mode", "throughput", "throughput (3-node WAL bench) or scaleout (keyed sharding bench)")
-		clients   = flag.Int("clients", 64, "concurrent closed-loop client sessions (scaleout: per site)")
-		duration  = flag.Duration("duration", 5*time.Second, "measured window per scenario")
-		warmup    = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per scenario")
-		out       = flag.String("out", "", "JSON report path (default per mode)")
-		dir       = flag.String("dir", "", "WAL directory (default: a temp dir; use a real disk to measure real fsyncs)")
-		forget    = flag.Duration("forget-after", 250*time.Millisecond, "engine auto-forget grace period")
-		sitesFlag = flag.String("sites", "2,4,8", "scaleout: comma-separated cluster sizes")
-		crossFlag = flag.String("cross-shard", "0,0.25,1", "scaleout: comma-separated fractions of cross-shard transactions, each in [0,1]")
-		protoFlag = flag.String("proto", "3pc", "scaleout: commit protocol (2pc or 3pc)")
+		mode       = flag.String("mode", "throughput", "throughput (3-node WAL bench), scaleout (keyed sharding bench) or transport (TCP wire microbench)")
+		clients    = flag.Int("clients", 64, "concurrent closed-loop client sessions (scaleout: per site)")
+		duration   = flag.Duration("duration", 5*time.Second, "measured window per scenario")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per scenario")
+		out        = flag.String("out", "", "JSON report path (default per mode)")
+		dir        = flag.String("dir", "", "WAL directory (default: a temp dir; use a real disk to measure real fsyncs)")
+		forget     = flag.Duration("forget-after", 250*time.Millisecond, "engine auto-forget grace period")
+		bodiesFlag = flag.String("bodies", "1,8,64", "transport: comma-separated message body sizes in bytes")
+		senders    = flag.Int("senders", 8, "transport: concurrent sender goroutines")
+		sitesFlag  = flag.String("sites", "2,4,8", "scaleout: comma-separated cluster sizes")
+		crossFlag  = flag.String("cross-shard", "0,0.25,1", "scaleout: comma-separated fractions of cross-shard transactions, each in [0,1]")
+		protoFlag  = flag.String("proto", "3pc", "scaleout: commit protocol (2pc or 3pc)")
 	)
 	flag.Parse()
 
@@ -108,6 +115,18 @@ func main() {
 	}
 
 	switch *mode {
+	case "transport":
+		bodies, err := parseInts(*bodiesFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			*out = "BENCH_transport.json"
+		}
+		if err := runTransport(bodies, *senders, *duration, *warmup, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
 	case "scaleout":
 		proto := engine.ThreePhase
 		if *protoFlag == "2pc" {

@@ -62,12 +62,35 @@ type Reply struct {
 	Err   string
 }
 
+// encodeBufPool and decodeReaderPool recycle the scratch objects of the
+// request/reply codec: every data-plane call used to allocate a fresh
+// bytes.Buffer (and its growth doublings) per encode and a bytes.Reader per
+// decode; pooling leaves only the exact-size body copy on the hot path.
+var (
+	encodeBufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	decodeReaderPool = sync.Pool{New: func() any { return bytes.NewReader(nil) }}
+)
+
 func encode(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		panic(fmt.Sprintf("remote: encode: %v", err))
 	}
-	return buf.Bytes()
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encodeBufPool.Put(buf)
+	return out
+}
+
+// decode gob-decodes a message body into v through a pooled reader.
+func decode(body []byte, v any) error {
+	r := decodeReaderPool.Get().(*bytes.Reader)
+	r.Reset(body)
+	err := gob.NewDecoder(r).Decode(v)
+	r.Reset(nil) // do not pin the body
+	decodeReaderPool.Put(r)
+	return err
 }
 
 // Server applies data-plane requests to a local store and, for OpCommit,
@@ -97,7 +120,7 @@ func (s *Server) SetSite(site *engine.Site) { s.site.Store(site) }
 // Handle processes one KV-OP message and sends the reply.
 func (s *Server) Handle(m transport.Message) {
 	var req Request
-	if err := gob.NewDecoder(bytes.NewReader(m.Body)).Decode(&req); err != nil {
+	if err := decode(m.Body, &req); err != nil {
 		return
 	}
 	rep := Reply{ReqID: req.ReqID}
@@ -183,7 +206,7 @@ func NewClient(send func(transport.Message) error, timeout time.Duration) *Clien
 // Deliver routes a KV-REPLY message to its waiting caller.
 func (c *Client) Deliver(m transport.Message) {
 	var rep Reply
-	if err := gob.NewDecoder(bytes.NewReader(m.Body)).Decode(&rep); err != nil {
+	if err := decode(m.Body, &rep); err != nil {
 		return
 	}
 	c.mu.Lock()

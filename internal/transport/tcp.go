@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -19,22 +22,137 @@ const (
 	DefaultBackoffMax  = 2 * time.Second
 )
 
+// Defaults for TCPOptions zero values.
+const (
+	DefaultQueueSize   = 1024
+	DefaultMaxBatch    = 128
+	DefaultDialTimeout = time.Second
+)
+
+// Codec selects the wire encoding of a TCPEndpoint's outbound connections.
+// The receive side always auto-detects per connection, so endpoints with
+// different codecs interoperate.
+type Codec string
+
+const (
+	// CodecBinary is the compact length-prefixed varint framing (wire.go).
+	CodecBinary Codec = "binary"
+	// CodecGob is the legacy encoding/gob stream, kept for compatibility
+	// and as the benchmark baseline.
+	CodecGob Codec = "gob"
+)
+
+// DropCause classifies why the endpoint dropped a message, so an operator
+// can tell a receive-side overflow from a send-side dead peer.
+type DropCause int
+
+const (
+	// DropBackoff: the destination is inside its redial backoff window.
+	DropBackoff DropCause = iota
+	// DropDial: a dial attempt to the destination failed.
+	DropDial
+	// DropWrite: the cached connection broke mid-write.
+	DropWrite
+	// DropInboxOverflow: an inbound message arrived with the inbox full.
+	DropInboxOverflow
+	// DropQueueFull: the destination's outbound queue was full at enqueue.
+	DropQueueFull
+	numDropCauses
+)
+
+// DropCauses lists every cause, for metric registration loops.
+var DropCauses = [numDropCauses]DropCause{
+	DropBackoff, DropDial, DropWrite, DropInboxOverflow, DropQueueFull,
+}
+
+func (c DropCause) String() string {
+	switch c {
+	case DropBackoff:
+		return "backoff"
+	case DropDial:
+		return "dial"
+	case DropWrite:
+		return "write"
+	case DropInboxOverflow:
+		return "inbox_overflow"
+	case DropQueueFull:
+		return "queue_full"
+	}
+	return "unknown"
+}
+
+// TCPOptions tunes a TCPEndpoint. The zero value selects the binary codec
+// with coalescing on and the default queue bounds.
+type TCPOptions struct {
+	// Codec selects the outbound wire encoding; empty means CodecBinary.
+	Codec Codec
+	// NoCoalesce disables batching of queued messages into a single write:
+	// every message costs its own syscall, the pre-rewrite behavior.
+	NoCoalesce bool
+	// QueueSize bounds each peer's outbound queue; a full queue drops the
+	// message (DropQueueFull). Zero means DefaultQueueSize.
+	QueueSize int
+	// MaxBatch caps how many queued messages one write may coalesce. Zero
+	// means DefaultMaxBatch.
+	MaxBatch int
+	// DialTimeout bounds each dial attempt. Zero means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// BatchSize, when set, observes the message count of every coalesced
+	// batch actually written (metrics hook).
+	BatchSize func(n int)
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.Codec == "" {
+		o.Codec = CodecBinary
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = DefaultQueueSize
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	return o
+}
+
 // peerDial tracks redial backoff for one unreachable peer.
 type peerDial struct {
 	failures int       // consecutive dial failures
 	retryAt  time.Time // no dialing before this
 }
 
+// peerWriter is the send side for one destination: a bounded queue drained
+// by a dedicated goroutine that owns the connection. Send enqueues and
+// returns; dialing, backoff and write stalls for this peer are absorbed
+// here and never delay the caller or sends to other peers.
+type peerWriter struct {
+	to    int
+	queue chan Message
+}
+
 // TCPEndpoint attaches a site to a real network: it listens for inbound
-// connections from peers and dials peers on demand, encoding messages with
-// encoding/gob. Connections are cached per destination and re-dialled on
-// failure with bounded exponential backoff; delivery to an unreachable peer
-// is dropped (matching the crash-stop semantics of the in-memory Network)
-// and counted, so an operator can tell a quiet peer from a dead one.
+// connections from peers and dials peers on demand. Each peer gets an
+// asynchronous writer goroutine with a bounded outbound queue; queued
+// messages are coalesced into a single buffered write, so a commit round's
+// N small messages to the same site cost one syscall instead of N. Messages
+// are framed with a compact varint binary codec (wire.go) by default, or
+// legacy gob; the receive side auto-detects either. Delivery to an
+// unreachable peer is dropped (matching the crash-stop semantics of the
+// in-memory Network) and counted by cause, so an operator can tell a quiet
+// peer from a dead one.
 type TCPEndpoint struct {
 	id    int
 	ln    net.Listener
 	inbox chan Message
+	opts  TCPOptions
+
+	// ctx is cancelled by Close: it wakes idle writers and aborts in-flight
+	// dials so Close never waits out a dial timeout.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// backoffBase and backoffMax bound the redial backoff, in nanoseconds;
 	// zero means the defaults. Atomic so SetBackoff is safe at any time,
@@ -43,43 +161,47 @@ type TCPEndpoint struct {
 	backoffMax  atomic.Int64
 
 	mu      sync.Mutex
-	peers   map[int]string // site ID -> address
-	conns   map[int]*gob.Encoder
-	raw     map[int]net.Conn
+	peers   map[int]string      // site ID -> address
+	writers map[int]*peerWriter // created lazily on first Send
+	conns   map[int]net.Conn    // writers' live connections, closed by Close
 	inbound map[net.Conn]bool
 	backoff map[int]*peerDial
 	closed  bool
 
-	dropped metrics.Counter
+	drops   [numDropCauses]metrics.Counter
 	redials metrics.Counter
+
+	// Coalescing stats: batches written and messages they carried.
+	batches   metrics.Counter
+	batchMsgs metrics.Counter
 
 	wg sync.WaitGroup
 }
 
-// SetBackoff bounds the redial backoff: after a dial failure the peer is
-// not dialled again until the window passes, doubling per consecutive
-// failure from base up to max. Non-positive values select the defaults.
-// Safe to call at any time, even concurrently with Send.
-func (e *TCPEndpoint) SetBackoff(base, max time.Duration) {
-	e.backoffBase.Store(int64(base))
-	e.backoffMax.Store(int64(max))
+// ListenTCP starts a TCP endpoint for site id on addr (e.g. "127.0.0.1:0")
+// with default options. peers maps every other site ID to its address;
+// entries may be added later with AddPeer.
+func ListenTCP(id int, addr string, peers map[int]string) (*TCPEndpoint, error) {
+	return ListenTCPOpts(id, addr, peers, TCPOptions{})
 }
 
-// ListenTCP starts a TCP endpoint for site id on addr (e.g. "127.0.0.1:0").
-// peers maps every other site ID to its address; entries may be added later
-// with AddPeer.
-func ListenTCP(id int, addr string, peers map[int]string) (*TCPEndpoint, error) {
+// ListenTCPOpts starts a TCP endpoint with explicit options.
+func ListenTCPOpts(id int, addr string, peers map[int]string, opts TCPOptions) (*TCPEndpoint, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	e := &TCPEndpoint{
 		id:      id,
 		ln:      ln,
 		inbox:   make(chan Message, inboxSize),
+		opts:    opts.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
 		peers:   map[int]string{},
-		conns:   map[int]*gob.Encoder{},
-		raw:     map[int]net.Conn{},
+		writers: map[int]*peerWriter{},
+		conns:   map[int]net.Conn{},
 		inbound: map[net.Conn]bool{},
 		backoff: map[int]*peerDial{},
 	}
@@ -89,6 +211,15 @@ func ListenTCP(id int, addr string, peers map[int]string) (*TCPEndpoint, error) 
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
+}
+
+// SetBackoff bounds the redial backoff: after a dial failure the peer is
+// not dialled again until the window passes, doubling per consecutive
+// failure from base up to max. Non-positive values select the defaults.
+// Safe to call at any time, even concurrently with Send.
+func (e *TCPEndpoint) SetBackoff(base, max time.Duration) {
+	e.backoffBase.Store(int64(base))
+	e.backoffMax.Store(int64(max))
 }
 
 // Addr returns the endpoint's listening address, useful when listening on
@@ -104,10 +235,23 @@ func (e *TCPEndpoint) AddPeer(id int, addr string) {
 	delete(e.backoff, id)
 }
 
-// Dropped returns how many messages this endpoint has dropped: sends to a
-// peer that is unreachable or in redial backoff, sends on a broken
-// connection, and inbound messages discarded on inbox overflow.
-func (e *TCPEndpoint) Dropped() int64 { return e.dropped.Value() }
+// Dropped returns how many messages this endpoint has dropped, summed over
+// every cause — see DroppedCause for the breakdown.
+func (e *TCPEndpoint) Dropped() int64 {
+	var total int64
+	for i := range e.drops {
+		total += e.drops[i].Value()
+	}
+	return total
+}
+
+// DroppedCause returns how many messages were dropped for one cause.
+func (e *TCPEndpoint) DroppedCause(c DropCause) int64 {
+	if c < 0 || c >= numDropCauses {
+		return 0
+	}
+	return e.drops[c].Value()
+}
 
 // Redials returns how many outbound dials this endpoint has attempted —
 // connection churn: a healthy cluster dials each peer once, so a growing
@@ -118,55 +262,206 @@ func (e *TCPEndpoint) Redials() int64 { return e.redials.Value() }
 // consumed; a depth pinned near the inbox capacity precedes overflow drops.
 func (e *TCPEndpoint) InboxDepth() int { return len(e.inbox) }
 
+// QueueDepth returns how many outbound messages are queued for peer but not
+// yet written; a depth pinned near the queue capacity precedes
+// DropQueueFull drops.
+func (e *TCPEndpoint) QueueDepth(peer int) int {
+	e.mu.Lock()
+	w := e.writers[peer]
+	e.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	return len(w.queue)
+}
+
+// BatchStats returns how many coalesced batches have been written and how
+// many messages they carried; msgs/batches is the mean coalescing factor.
+func (e *TCPEndpoint) BatchStats() (batches, msgs int64) {
+	return e.batches.Value(), e.batchMsgs.Value()
+}
+
 // ID implements Endpoint.
 func (e *TCPEndpoint) ID() int { return e.id }
 
 // Recv implements Endpoint.
 func (e *TCPEndpoint) Recv() <-chan Message { return e.inbox }
 
-// Send implements Endpoint. Failure to reach the peer drops the message (the
-// cached connection is discarded so a later send re-dials), counts the drop,
-// and backs off redialling so a dead peer costs one dial attempt per backoff
-// window instead of one per message.
+// Send implements Endpoint. It is a non-blocking enqueue onto the
+// destination's writer queue: a dead, dialling or stalled peer never blocks
+// the caller or delays sends to other peers. A full queue drops the message
+// (DropQueueFull), matching crash-stop semantics.
 func (e *TCPEndpoint) Send(m Message) error {
 	m.From = e.id
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
-	enc, ok := e.conns[m.To]
-	if !ok {
-		addr, known := e.peers[m.To]
-		if !known {
+	w := e.writers[m.To]
+	if w == nil {
+		if _, known := e.peers[m.To]; !known {
+			e.mu.Unlock()
 			return fmt.Errorf("transport: no address for site %d", m.To)
 		}
-		if b := e.backoff[m.To]; b != nil && time.Now().Before(b.retryAt) {
-			e.dropped.Inc()
-			return nil // backing off: message lost, crash-stop semantics
-		}
-		e.redials.Inc()
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			e.noteDialFailure(m.To)
-			e.dropped.Inc()
-			return nil // peer down: message lost, crash-stop semantics
-		}
-		delete(e.backoff, m.To)
-		enc = gob.NewEncoder(conn)
-		e.conns[m.To] = enc
-		e.raw[m.To] = conn
+		w = &peerWriter{to: m.To, queue: make(chan Message, e.opts.QueueSize)}
+		e.writers[m.To] = w
+		e.wg.Add(1)
+		go e.runWriter(w)
 	}
-	if err := enc.Encode(m); err != nil {
-		if c := e.raw[m.To]; c != nil {
-			c.Close()
-		}
-		delete(e.conns, m.To)
-		delete(e.raw, m.To)
-		e.dropped.Inc()
-		return nil // connection broke: message lost
+	e.mu.Unlock()
+	select {
+	case w.queue <- m:
+	default:
+		e.drops[DropQueueFull].Inc()
 	}
 	return nil
+}
+
+// writerConn is a peer writer's connection state, owned by its goroutine.
+type writerConn struct {
+	conn      net.Conn
+	needMagic bool          // binary codec: magic not yet written
+	bufw      *bufio.Writer // gob codec only
+	genc      *gob.Encoder  // gob codec only
+}
+
+// runWriter drains one peer's queue: it takes a message, optionally
+// coalesces whatever else is already queued (up to MaxBatch), and writes
+// the batch with a single flush. It exits when the endpoint closes.
+func (e *TCPEndpoint) runWriter(w *peerWriter) {
+	defer e.wg.Done()
+	var wc writerConn
+	defer e.dropConn(w.to, &wc)
+	batch := make([]Message, 0, e.opts.MaxBatch)
+	done := e.ctx.Done()
+	for {
+		select {
+		case m := <-w.queue:
+			batch = append(batch[:0], m)
+			if !e.opts.NoCoalesce {
+			drain:
+				for len(batch) < e.opts.MaxBatch {
+					select {
+					case m2 := <-w.queue:
+						batch = append(batch, m2)
+					default:
+						break drain
+					}
+				}
+			}
+			e.flushBatch(w, &wc, batch)
+		case <-done:
+			return
+		}
+	}
+}
+
+// flushBatch writes one coalesced batch, connecting first if needed. A
+// failure anywhere drops the whole batch under the matching cause: under
+// crash-stop semantics a lost message is not an error, only a statistic.
+func (e *TCPEndpoint) flushBatch(w *peerWriter, wc *writerConn, batch []Message) {
+	if wc.conn == nil {
+		if cause, ok := e.connect(w, wc); !ok {
+			e.drops[cause].Add(int64(len(batch)))
+			return
+		}
+	}
+	var err error
+	switch e.opts.Codec {
+	case CodecGob:
+		for _, m := range batch {
+			if err = wc.genc.Encode(m); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = wc.bufw.Flush()
+		}
+	default: // CodecBinary
+		bufp := wireBufPool.Get().(*[]byte)
+		buf := (*bufp)[:0]
+		if wc.needMagic {
+			buf = append(buf, wireMagic[:]...)
+		}
+		for _, m := range batch {
+			buf = appendMessage(buf, m)
+		}
+		_, err = wc.conn.Write(buf)
+		*bufp = buf[:0]
+		wireBufPool.Put(bufp)
+		if err == nil {
+			wc.needMagic = false
+		}
+	}
+	if err != nil {
+		e.dropConn(w.to, wc)
+		e.drops[DropWrite].Add(int64(len(batch)))
+		return
+	}
+	e.batches.Inc()
+	e.batchMsgs.Add(int64(len(batch)))
+	if e.opts.BatchSize != nil {
+		e.opts.BatchSize(len(batch))
+	}
+}
+
+// connect establishes the writer's connection, honoring the redial backoff.
+// On failure it returns the cause the pending batch should be dropped under.
+func (e *TCPEndpoint) connect(w *peerWriter, wc *writerConn) (DropCause, bool) {
+	e.mu.Lock()
+	addr, known := e.peers[w.to]
+	if !known {
+		e.mu.Unlock()
+		return DropDial, false
+	}
+	if b := e.backoff[w.to]; b != nil && time.Now().Before(b.retryAt) {
+		e.mu.Unlock()
+		return DropBackoff, false
+	}
+	e.mu.Unlock()
+
+	e.redials.Inc()
+	d := net.Dialer{Timeout: e.opts.DialTimeout}
+	conn, err := d.DialContext(e.ctx, "tcp", addr)
+	if err != nil {
+		e.mu.Lock()
+		e.noteDialFailure(w.to)
+		e.mu.Unlock()
+		return DropDial, false
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return DropDial, false
+	}
+	delete(e.backoff, w.to)
+	e.conns[w.to] = conn
+	e.mu.Unlock()
+
+	wc.conn = conn
+	if e.opts.Codec == CodecGob {
+		wc.bufw = bufio.NewWriterSize(conn, 64<<10)
+		wc.genc = gob.NewEncoder(wc.bufw)
+	} else {
+		wc.needMagic = true
+	}
+	return 0, true
+}
+
+// dropConn tears down a writer's connection (if any) and deregisters it.
+func (e *TCPEndpoint) dropConn(to int, wc *writerConn) {
+	if wc.conn == nil {
+		return
+	}
+	wc.conn.Close()
+	e.mu.Lock()
+	if e.conns[to] == wc.conn {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	*wc = writerConn{}
 }
 
 // noteDialFailure doubles the peer's redial backoff, bounded by the
@@ -195,7 +490,9 @@ func (e *TCPEndpoint) noteDialFailure(to int) {
 	b.retryAt = time.Now().Add(d)
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint. It interrupts blocked writes and in-flight
+// dials, waits for every writer and reader goroutine to drain, and discards
+// messages still queued but unsent (crash-stop: they are simply lost).
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -203,13 +500,18 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	for _, c := range e.raw {
-		c.Close()
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
+	for _, c := range e.conns {
+		conns = append(conns, c)
 	}
 	for c := range e.inbound {
-		c.Close()
+		conns = append(conns, c)
 	}
 	e.mu.Unlock()
+	e.cancel() // wakes idle writers, aborts in-flight dials
+	for _, c := range conns {
+		c.Close() // unblocks writers stuck in Write and readers in Read
+	}
 	e.ln.Close()
 	e.wg.Wait()
 	close(e.inbox)
@@ -236,6 +538,9 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// readLoop decodes one inbound connection. The codec is detected from the
+// first bytes: a binary-codec sender opens with wireMagic, anything else is
+// a legacy gob stream, so mixed-codec clusters interoperate.
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -244,23 +549,58 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		delete(e.inbound, conn)
 		e.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	head, err := br.Peek(len(wireMagic))
+	if err != nil {
+		return
+	}
+	if bytes.Equal(head, wireMagic[:]) {
+		br.Discard(len(wireMagic))
+		e.readBinary(br)
+		return
+	}
+	e.readGob(br)
+}
+
+func (e *TCPEndpoint) readBinary(br *bufio.Reader) {
+	bufp := wireBufPool.Get().(*[]byte)
+	scratch := *bufp
+	defer func() {
+		*bufp = scratch[:0]
+		wireBufPool.Put(bufp)
+	}()
+	for {
+		var m Message
+		var err error
+		m, scratch, err = readWireMessage(br, scratch[:cap(scratch)])
+		if err == errUnknownVersion {
+			continue // frame consumed; a newer sender costs us only its frames
+		}
+		if err != nil {
+			return
+		}
+		e.deliver(m)
+	}
+}
+
+func (e *TCPEndpoint) readGob(br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var m Message
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
-		e.mu.Lock()
-		closed := e.closed
-		e.mu.Unlock()
-		if closed {
-			return
-		}
-		select {
-		case e.inbox <- m:
-		default:
-			// Inbox overflow: drop, as the in-memory transport does.
-			e.dropped.Inc()
-		}
+		e.deliver(m)
+	}
+}
+
+// deliver hands an inbound message to the inbox, dropping on overflow as
+// the in-memory transport does. Readers hold the waitgroup, so the inbox
+// cannot be closed underneath them.
+func (e *TCPEndpoint) deliver(m Message) {
+	select {
+	case e.inbox <- m:
+	default:
+		e.drops[DropInboxOverflow].Inc()
 	}
 }

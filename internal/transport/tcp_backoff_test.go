@@ -7,8 +7,13 @@ import (
 	"time"
 )
 
-// reservedAddr returns an address that refuses connections: a port that was
-// briefly listened on and closed.
+// deadAddr refuses connections: nothing listens on port 1 and the kernel
+// never hands it out as an ephemeral port, so — unlike a listened-and-closed
+// port — it cannot be recycled into a later ":0" bind mid-test.
+const deadAddr = "127.0.0.1:1"
+
+// reservedAddr returns an address that refuses connections right now but can
+// be re-listened on later: a port that was briefly listened on and closed.
 func reservedAddr(t *testing.T) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -20,30 +25,48 @@ func reservedAddr(t *testing.T) string {
 	return addr
 }
 
+// waitFor polls cond until it holds or the deadline passes. Sends are now an
+// asynchronous enqueue, so drop and dial accounting settles a writer
+// goroutine later, not synchronously inside Send.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestTCPDeadPeerDropsAreCountedAndBackedOff: every send to an unreachable
-// peer is counted as dropped, and only the first one dials — the rest fall
-// inside the backoff window.
+// peer is eventually counted as dropped, and only the first batch dials —
+// the rest fall inside the backoff window.
 func TestTCPDeadPeerDropsAreCountedAndBackedOff(t *testing.T) {
-	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: reservedAddr(t)})
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: deadAddr})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	a.SetBackoff(time.Second, time.Second) // wide window: sends below never re-dial
+	a.SetBackoff(time.Second, time.Second) // wide window: at most one dial below
 
 	for i := 0; i < 5; i++ {
 		if err := a.Send(Message{To: 2, Kind: "X"}); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
-	if got := a.Dropped(); got != 5 {
-		t.Fatalf("Dropped() = %d, want 5", got)
+	waitFor(t, "5 drops", func() bool { return a.Dropped() == 5 })
+	if dial, back := a.DroppedCause(DropDial), a.DroppedCause(DropBackoff); dial+back != 5 {
+		t.Fatalf("drops dial=%d backoff=%d, want sum 5", dial, back)
 	}
 	a.mu.Lock()
 	b := a.backoff[2]
 	a.mu.Unlock()
 	if b == nil || b.failures != 1 {
 		t.Fatalf("backoff state = %+v, want exactly 1 dial failure", b)
+	}
+	if got := a.Redials(); got != 1 {
+		t.Fatalf("Redials() = %d, want 1", got)
 	}
 }
 
@@ -86,9 +109,7 @@ func TestTCPBackoffRecovers(t *testing.T) {
 	if err := a.Send(Message{To: 2, Kind: "LOST"}); err != nil {
 		t.Fatal(err)
 	}
-	if got := a.Dropped(); got != 1 {
-		t.Fatalf("Dropped() = %d, want 1", got)
-	}
+	waitFor(t, "the lost message to be counted", func() bool { return a.Dropped() == 1 })
 
 	b, err := ListenTCP(2, addr, nil)
 	if err != nil {
@@ -123,7 +144,7 @@ func TestTCPBackoffRecovers(t *testing.T) {
 // TestTCPAddPeerClearsBackoff: re-addressing a peer forgets the backoff
 // accumulated against the old address.
 func TestTCPAddPeerClearsBackoff(t *testing.T) {
-	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: reservedAddr(t)})
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: deadAddr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +154,9 @@ func TestTCPAddPeerClearsBackoff(t *testing.T) {
 	if err := a.Send(Message{To: 2}); err != nil {
 		t.Fatal(err)
 	}
+	// Wait for the dial failure to be recorded before re-addressing, so the
+	// hour-long backoff is in place when AddPeer clears it.
+	waitFor(t, "the dial failure", func() bool { return a.DroppedCause(DropDial) == 1 })
 	b, err := ListenTCP(2, "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +175,7 @@ func TestTCPAddPeerClearsBackoff(t *testing.T) {
 // while sends are in flight — the old "must be set before first Send" plain
 // fields were a data race under exactly this schedule.
 func TestTCPSetBackoffConcurrentWithSend(t *testing.T) {
-	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: reservedAddr(t)})
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: deadAddr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,9 +199,7 @@ func TestTCPSetBackoffConcurrentWithSend(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if a.Dropped() == 0 {
-		t.Fatal("expected drops against an unreachable peer")
-	}
+	waitFor(t, "drops against an unreachable peer", func() bool { return a.Dropped() > 0 })
 	if a.Redials() == 0 {
 		t.Fatal("expected at least one dial attempt to be counted")
 	}

@@ -1,0 +1,342 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nbcommit/internal/metrics"
+)
+
+// blackholeListener accepts connections and never reads from them: the
+// sender's kernel buffers fill and its writes block — the shape of a hung
+// (not crashed) peer. release() starts draining every connection.
+func blackholeListener(t *testing.T) (addr string, release func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	released := make(chan struct{})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			go func(c net.Conn) {
+				<-released
+				io.Copy(io.Discard, c)
+			}(c)
+		}
+	}()
+	var once sync.Once
+	t.Cleanup(func() {
+		ln.Close()
+		once.Do(func() { close(released) })
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	return ln.Addr().String(), func() { once.Do(func() { close(released) }) }
+}
+
+// bigPayload is large enough that a handful of messages overwhelm loopback
+// socket buffers and block the peer's writer goroutine mid-Write. Shared
+// across tests; the transport never mutates message bodies.
+var bigPayload = make([]byte, 4<<20)
+
+// TestTCPCloseWithQueuedMessages: Close must return promptly — interrupting
+// a writer blocked in Write and discarding queued unsent messages — with
+// every goroutine drained (Close returning IS the wg.Wait proof).
+func TestTCPCloseWithQueuedMessages(t *testing.T) {
+	addr, _ := blackholeListener(t)
+	a, err := ListenTCPOpts(1, "127.0.0.1:0", map[int]string{2: addr}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := a.Send(Message{To: 2, Kind: "BIG", Body: bigPayload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the writer is demonstrably wedged: messages stuck in queue.
+	waitFor(t, "a blocked writer", func() bool { return a.QueueDepth(2) > 0 })
+
+	done := make(chan error, 1)
+	go func() { done <- a.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return with queued unsent messages")
+	}
+	if err := a.Send(Message{To: 2}); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+// TestTCPQueueFullDropAccounting: a stalled peer fills its bounded queue and
+// further sends are dropped under DropQueueFull — and the per-cause split
+// sums to Dropped().
+func TestTCPQueueFullDropAccounting(t *testing.T) {
+	addr, _ := blackholeListener(t)
+	a, err := ListenTCPOpts(1, "127.0.0.1:0", map[int]string{2: addr}, TCPOptions{QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 40; i++ {
+		if err := a.Send(Message{To: 2, Kind: "BIG", Body: bigPayload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "queue-full drops", func() bool { return a.DroppedCause(DropQueueFull) > 0 })
+	var sum int64
+	for _, c := range DropCauses {
+		sum += a.DroppedCause(c)
+	}
+	if got := a.Dropped(); got != sum {
+		t.Fatalf("Dropped() = %d, sum of causes = %d", got, sum)
+	}
+}
+
+// TestTCPBlackholedPeerDoesNotBlockHealthyPeer is the regression test for
+// the old single-mutex Send: with one peer wedged mid-Write, sends to a
+// healthy peer must still be delivered with ordinary latency. Under the
+// pre-rewrite transport this test deadlocks until the blackholed write's
+// kernel buffers drain — the mutex was held across the blocked syscall.
+func TestTCPBlackholedPeerDoesNotBlockHealthyPeer(t *testing.T) {
+	dead, _ := blackholeListener(t)
+	b, err := ListenTCP(3, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: dead, 3: b.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Wedge peer 2's writer.
+	for i := 0; i < 8; i++ {
+		if err := a.Send(Message{To: 2, Kind: "BIG", Body: bigPayload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "the blackholed writer to wedge", func() bool { return a.QueueDepth(2) > 0 })
+
+	// Healthy peer: 200 request/response-paced sends, each timed.
+	var lat metrics.Histogram
+	for i := 0; i < 200; i++ {
+		start := time.Now()
+		if err := a.Send(Message{To: 3, Kind: "PING", TxID: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		if m := recvOne(t, b); m.Kind != "PING" {
+			t.Fatalf("got %v", m)
+		}
+		lat.Observe(time.Since(start))
+	}
+	if p99 := lat.Quantile(0.99); p99 > 500*time.Millisecond {
+		t.Fatalf("healthy-peer p99 = %v with a blackholed peer; sends are being delayed", p99)
+	}
+}
+
+// TestTCPCoalescingBatchesQueuedMessages: messages that pile up behind a
+// stalled write are flushed as coalesced batches — observably fewer writes
+// than messages — and all of them are accounted to batches.
+func TestTCPCoalescingBatchesQueuedMessages(t *testing.T) {
+	addr, release := blackholeListener(t)
+	a, err := ListenTCPOpts(1, "127.0.0.1:0", map[int]string{2: addr}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Block the writer — keep feeding it big messages until at least one is
+	// stuck in the queue — then pile 50 small messages behind the stall.
+	sent := 0
+	for a.QueueDepth(2) == 0 {
+		if err := a.Send(Message{To: 2, Kind: "BIG", Body: bigPayload}); err != nil {
+			t.Fatal(err)
+		}
+		if sent++; sent > 100 {
+			t.Fatal("writer never wedged against the blackholed peer")
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := a.Send(Message{To: 2, Kind: "SMALL", TxID: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release()
+	total := int64(sent + 50)
+	waitFor(t, "the queue to drain", func() bool {
+		_, msgs := a.BatchStats()
+		return msgs == total && a.QueueDepth(2) == 0
+	})
+	batches, msgs := a.BatchStats()
+	if msgs != total || batches >= msgs {
+		t.Fatalf("batches=%d msgs=%d: expected coalescing (fewer writes than messages)", batches, msgs)
+	}
+}
+
+// TestTCPNoCoalesceWritesPerMessage: with coalescing disabled every message
+// is its own write, the pre-rewrite baseline the benchmark compares against.
+func TestTCPNoCoalesceWritesPerMessage(t *testing.T) {
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCPOpts(1, "127.0.0.1:0", map[int]string{2: b.Addr()}, TCPOptions{NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Send(Message{To: 2, Kind: "M"}); err != nil {
+			t.Fatal(err)
+		}
+		recvOne(t, b)
+	}
+	batches, msgs := a.BatchStats()
+	if batches != 10 || msgs != 10 {
+		t.Fatalf("batches=%d msgs=%d, want 10/10 without coalescing", batches, msgs)
+	}
+}
+
+// TestTCPCodecInterop: the receive side auto-detects the codec per
+// connection, so a gob sender and a binary sender both reach the same
+// receiver — mixed-version clusters keep talking.
+func TestTCPCodecInterop(t *testing.T) {
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(string(codec), func(t *testing.T) {
+			recv, err := ListenTCP(2, "127.0.0.1:0", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer recv.Close()
+			send, err := ListenTCPOpts(1, "127.0.0.1:0", map[int]string{2: recv.Addr()}, TCPOptions{Codec: codec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer send.Close()
+			want := Message{To: 2, Kind: "VOTE-REQ", TxID: "x", Body: []byte("payload")}
+			if err := send.Send(want); err != nil {
+				t.Fatal(err)
+			}
+			m := recvOne(t, recv)
+			if m.From != 1 || m.Kind != want.Kind || m.TxID != want.TxID || string(m.Body) != "payload" {
+				t.Fatalf("got %+v", m)
+			}
+		})
+	}
+}
+
+// TestTCPBatchSizeHook: the BatchSize metrics hook observes every written
+// batch.
+func TestTCPBatchSizeHook(t *testing.T) {
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var mu sync.Mutex
+	var observed []int
+	a, err := ListenTCPOpts(1, "127.0.0.1:0", map[int]string{2: b.Addr()}, TCPOptions{
+		BatchSize: func(n int) { mu.Lock(); observed = append(observed, n); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(Message{To: 2, Kind: "M"}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(observed) == 0 || observed[0] < 1 {
+		t.Fatalf("BatchSize hook observed %v", observed)
+	}
+}
+
+// TestTCPConcurrentSendAddPeerSetBackoffClose races every mutating entry
+// point against Send, under -race in CI: concurrent sends to live and dead
+// peers, peer re-addressing, backoff reconfiguration, stat reads, then
+// Close in the middle of it all.
+func TestTCPConcurrentSendAddPeerSetBackoffClose(t *testing.T) {
+	live, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	go func() { // drain
+		for range live.Recv() {
+		}
+	}()
+	dead := deadAddr
+	a, err := ListenTCP(1, "127.0.0.1:0", map[int]string{2: live.Addr(), 3: dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 300; i++ {
+				to := 2 + (i+g)%2 // alternate live and dead peers
+				if err := a.Send(Message{To: to, Kind: "X", TxID: "t"}); err != nil && err != ErrClosed {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 100; i++ {
+			a.AddPeer(2, live.Addr())
+			a.AddPeer(3, dead)
+			a.SetBackoff(time.Duration(i+1)*time.Millisecond, time.Second)
+			_ = a.Dropped()
+			_ = a.QueueDepth(2)
+			_, _ = a.BatchStats()
+			_ = a.Redials()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(5 * time.Millisecond)
+		if err := a.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if err := a.Send(Message{To: 2}); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
