@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci bench-throughput bench-throughput-smoke bench-transport bench-transport-smoke bench-scaleout smoke-sharded smoke-obs
+.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
 
 all: build vet test
 
@@ -35,6 +35,11 @@ dst:
 dst-ci:
 	$(GO) run ./cmd/dst -protocol both -seeds 50
 
+# Replay the pinned engine-bug regression seeds (the exact schedules that
+# exposed each previously fixed bug; see EXPERIMENTS.md).
+dst-regress:
+	$(GO) run ./cmd/dst -regress
+
 # Closed-loop commit throughput: 64 clients against a 3-node in-process
 # cluster, 2PC and 3PC, group commit on and off, fsync enabled. Emits
 # BENCH_commit_throughput.json.
@@ -64,6 +69,19 @@ bench-transport-smoke:
 bench-scaleout:
 	$(GO) run ./cmd/loadgen -mode scaleout -clients 16 -duration 3s \
 		-sites 2,4,8 -cross-shard 0,0.25,1 -out BENCH_shard_scaleout.json
+
+# Hostile-environment matrix: the curated WAN scenario table (symmetric and
+# asymmetric partitions, gray coordinator, coordinator crash after prepare)
+# swept for 2PC and 3PC over 25 seeds per cell, measuring blocking
+# probability, commit availability and cross-region tail latency in virtual
+# time. Exits nonzero if 2PC ever splits a decision or if no scenario shows
+# 2PC blocking while 3PC terminates. Emits BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/loadgen -mode chaos -chaos-seeds 25 -out BENCH_chaos.json
+
+# Short smoke for CI: same matrix, 3 seeds per cell, throwaway output.
+bench-chaos-smoke:
+	$(GO) run ./cmd/loadgen -mode chaos -chaos-seeds 3 -out /tmp/chaos-smoke.json
 
 # Observability smoke for CI: starts a kvnode with -obs-addr, commits
 # transactions, scrapes /metrics and asserts the per-phase latency, WAL and

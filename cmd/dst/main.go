@@ -9,6 +9,8 @@
 //	go run ./cmd/dst                      # enumerate + 500 random seeds, 2PC and 3PC
 //	go run ./cmd/dst -protocol 3pc -seeds 5000
 //	go run ./cmd/dst -protocol 3pc -seed 113 -trace   # replay one schedule
+//	go run ./cmd/dst -regress                         # replay the pinned-bug seeds
+//	go run ./cmd/dst -hostile coord-crash-prepared -protocol 2pc -seed 4 -trace
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 		seed     = flag.Int64("seed", -1, "replay a single random schedule instead of sweeping")
 		enum     = flag.Bool("enum", true, "run the exhaustive single-crash-point enumeration")
 		trace    = flag.Bool("trace", false, "print the event trace of every failing (or -seed) run")
+		hostile  = flag.String("hostile", "", "replay one hostile scenario by name (see internal/dst.HostileScenarios)")
+		regress  = flag.Bool("regress", false, "replay the pinned engine-bug regression seeds and exit")
 	)
 	flag.Parse()
 
@@ -42,6 +46,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "dst: unknown -protocol %q (want 2pc, 3pc, or both)\n", *protocol)
 		os.Exit(2)
+	}
+
+	if *regress {
+		os.Exit(runRegress(*trace))
+	}
+	if *hostile != "" {
+		os.Exit(runHostileReplay(*hostile, kinds, *seed, *trace))
 	}
 
 	failed := false
@@ -97,6 +108,69 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runRegress replays every pinned engine-bug seed (internal/dst
+// RegressionScenarios); any violation means a previously fixed bug regressed.
+func runRegress(trace bool) int {
+	code := 0
+	for _, rs := range dst.RegressionScenarios() {
+		for i, r := range dst.RunRegression(rs) {
+			status := "ok"
+			if len(r.Violations) > 0 {
+				status = "REGRESSED"
+				code = 1
+			}
+			fmt.Printf("%-32s %s seed=%-6d %s\n", rs.Name, rs.Protocol, rs.Seeds[i], status)
+			if len(r.Violations) > 0 {
+				fmt.Printf("  bug: %s\n", rs.Bug)
+				printReport(r, trace)
+			}
+		}
+	}
+	return code
+}
+
+// runHostileReplay replays one curated hostile scenario for one seed,
+// printing the per-transaction measurements (and the full trace with -trace).
+func runHostileReplay(name string, kinds []engine.ProtocolKind, seed int64, trace bool) int {
+	sc, ok := dst.HostileScenarioByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dst: unknown hostile scenario %q; available:\n", name)
+		for _, s := range dst.HostileScenarios() {
+			fmt.Fprintf(os.Stderr, "  %-22s %s\n", s.Name, s.Desc)
+		}
+		return 2
+	}
+	if seed < 0 {
+		seed = 1
+	}
+	code := 0
+	for _, kind := range kinds {
+		r := dst.RunHostile(sc.Config(kind, seed))
+		printReport(r.Report, trace)
+		for _, txn := range r.Txns {
+			state := "RESOLVED"
+			switch {
+			case txn.Blocked && !txn.Resolved:
+				state = "BLOCKED"
+			case !txn.Resolved:
+				state = "unresolved"
+			}
+			fmt.Printf("  %-4s coord=%d launched=%7.1fms answer=%7.1fms resolved=%7.1fms outcome=%-9s %s\n",
+				txn.ID, txn.Coord, txn.LaunchedMs, txn.AnswerMs, txn.ResolvedMs, txn.Outcome, state)
+		}
+		if len(r.BlockedSites) > 0 {
+			fmt.Printf("  blocked sites: %v\n", r.BlockedSites)
+		}
+		if r.SplitTxns > 0 {
+			fmt.Printf("  split decisions: %d\n", r.SplitTxns)
+		}
+		if len(r.Violations) > r.SplitTxns {
+			code = 1
+		}
+	}
+	return code
 }
 
 func printReport(r dst.Report, withTrace bool) {

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"nbcommit/internal/dst"
+	"nbcommit/internal/engine"
+	"nbcommit/internal/metrics"
+)
+
+// chaosCell is one (scenario, protocol) cell of the hostility matrix,
+// aggregated over all seeds. Latencies are virtual milliseconds — the
+// simulated WAN clock, not the host's.
+type chaosCell struct {
+	Protocol            string  `json:"protocol"`
+	Seeds               int     `json:"seeds"`
+	Txns                int     `json:"txns"`
+	Answered            int     `json:"answered"`
+	Resolved            int     `json:"resolved"`
+	Committed           int     `json:"committed"`
+	BlockedSeeds        int     `json:"blocked_seeds"`
+	BlockingProbability float64 `json:"blocking_probability"`
+	// Availability: fraction of txns some alive site could answer a client
+	// about. AvailabilityFault restricts to txns launched inside the fault
+	// window and requires the answer before the fault ends (before heal).
+	Availability      float64 `json:"availability"`
+	AvailabilityFault float64 `json:"availability_during_fault"`
+	P50Ms               float64 `json:"p50_ms"`
+	P95Ms               float64 `json:"p95_ms"`
+	P99Ms               float64 `json:"p99_ms"`
+	MaxMs               float64 `json:"max_ms"`
+	SplitSeeds          int     `json:"split_seeds"`
+	// FirstBlockedSeed replays a blocking run:
+	//   go run ./cmd/dst -hostile <scenario> -protocol <p> -seed <s> -trace
+	FirstBlockedSeed int64 `json:"first_blocked_seed,omitempty"`
+}
+
+// chaosScenarioResult is one scenario row: every protocol's cell.
+type chaosScenarioResult struct {
+	Name  string               `json:"name"`
+	Desc  string               `json:"desc"`
+	Cells map[string]chaosCell `json:"cells"`
+}
+
+type chaosReport struct {
+	Topology     string                `json:"topology"`
+	SeedsPerCell int                   `json:"seeds_per_cell"`
+	Scenarios    []chaosScenarioResult `json:"scenarios"`
+	// BlockingGapScenarios lists scenarios where 2PC blocked on some seed
+	// and 3PC never did — the paper's nonblocking claim, measured.
+	BlockingGapScenarios []string `json:"blocking_gap_scenarios"`
+}
+
+// runChaos sweeps the curated hostile scenario table for both protocols over
+// seedsPerCell seeds each and writes the aggregated matrix. It exits nonzero
+// if 2PC ever splits a decision (2PC must block, never diverge), if any
+// harness-level failure surfaces, or if no scenario exhibits the
+// 2PC-blocks-3PC-terminates gap.
+func runChaos(seedsPerCell int, out string) error {
+	scenarios := dst.HostileScenarios()
+	rep := chaosReport{SeedsPerCell: seedsPerCell}
+	if len(scenarios) > 0 {
+		rep.Topology = scenarios[0].Topo.Name
+	}
+
+	for _, sc := range scenarios {
+		row := chaosScenarioResult{Name: sc.Name, Desc: sc.Desc, Cells: map[string]chaosCell{}}
+		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+			cell := chaosCell{Protocol: proto.String(), Seeds: seedsPerCell}
+			var lat metrics.Histogram
+			faultTxns, faultAnswered := 0, 0
+			faultEndMs := float64(sc.FaultEnd) / float64(time.Millisecond)
+			for seed := int64(1); seed <= int64(seedsPerCell); seed++ {
+				r := dst.RunHostile(sc.Config(proto, seed))
+				// Violations beyond the consistency splits are harness-level
+				// failures (recovery errors etc.) and always fatal.
+				if len(r.Violations) > r.SplitTxns {
+					return fmt.Errorf("chaos %s/%s seed %d harness failure: %v",
+						sc.Name, proto, seed, r.Violations[r.SplitTxns:])
+				}
+				if r.SplitTxns > 0 {
+					cell.SplitSeeds++
+					if proto == engine.TwoPhase {
+						return fmt.Errorf("chaos %s/2PC seed %d split a decision: %v (replay: go run ./cmd/dst -hostile %s -protocol 2pc -seed %d -trace)",
+							sc.Name, seed, r.Violations, sc.Name, seed)
+					}
+				}
+				if len(r.BlockedSites) > 0 {
+					if cell.BlockedSeeds == 0 {
+						cell.FirstBlockedSeed = seed
+					}
+					cell.BlockedSeeds++
+				}
+				for _, t := range r.Txns {
+					cell.Txns++
+					if t.DuringFault {
+						faultTxns++
+					}
+					if t.Resolved {
+						cell.Resolved++
+					}
+					if t.Answered {
+						cell.Answered++
+						if t.Outcome == "committed" {
+							cell.Committed++
+						}
+						if t.DuringFault && t.AnswerMs < faultEndMs {
+							faultAnswered++
+						}
+						lat.Observe(time.Duration(t.LatencyMs * float64(time.Millisecond)))
+					}
+				}
+			}
+			cell.BlockingProbability = ratio(cell.BlockedSeeds, seedsPerCell)
+			cell.Availability = ratio(cell.Answered, cell.Txns)
+			cell.AvailabilityFault = ratio(faultAnswered, faultTxns)
+			if faultTxns == 0 {
+				cell.AvailabilityFault = cell.Availability
+			}
+			cell.P50Ms = ms2(lat.Quantile(0.50))
+			cell.P95Ms = ms2(lat.Quantile(0.95))
+			cell.P99Ms = ms2(lat.Quantile(0.99))
+			cell.MaxMs = ms2(lat.Max())
+			row.Cells[proto.String()] = cell
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+
+		two, three := row.Cells["2PC"], row.Cells["3PC"]
+		if two.BlockedSeeds > 0 && three.BlockedSeeds == 0 {
+			rep.BlockingGapScenarios = append(rep.BlockingGapScenarios, sc.Name)
+		}
+		fmt.Printf("%-22s 2PC block=%.2f avail=%.2f/%.2f p99=%7.1fms | 3PC block=%.2f avail=%.2f/%.2f p99=%7.1fms\n",
+			sc.Name,
+			two.BlockingProbability, two.AvailabilityFault, two.Availability, two.P99Ms,
+			three.BlockingProbability, three.AvailabilityFault, three.Availability, three.P99Ms)
+	}
+
+	if len(rep.BlockingGapScenarios) == 0 {
+		return fmt.Errorf("chaos: no scenario exhibits the 2PC-blocks-while-3PC-terminates gap — the matrix lost its negative control")
+	}
+	fmt.Printf("blocking gap (2PC blocks, 3PC terminates): %v\n", rep.BlockingGapScenarios)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -16,6 +16,12 @@
 // swept over wire codec (gob vs binary), message coalescing (on vs off) and
 // body size (see transport.go).
 //
+// -mode chaos: the hostile-environment matrix — the curated WAN/partition/
+// gray-failure scenario table (internal/dst.HostileScenarios) swept over
+// seeds for 2PC and 3PC, reporting blocking probability, commit availability
+// during and after faults, and cross-region tail latency in virtual time
+// (see chaos.go).
+//
 // Either way the run is written as JSON so the bench trajectory can track it.
 //
 //	loadgen -clients 64 -duration 5s -out BENCH_commit_throughput.json
@@ -89,7 +95,7 @@ type report struct {
 
 func main() {
 	var (
-		mode       = flag.String("mode", "throughput", "throughput (3-node WAL bench), scaleout (keyed sharding bench) or transport (TCP wire microbench)")
+		mode       = flag.String("mode", "throughput", "throughput (3-node WAL bench), scaleout (keyed sharding bench), transport (TCP wire microbench) or chaos (hostile-environment 2PC-vs-3PC matrix)")
 		clients    = flag.Int("clients", 64, "concurrent closed-loop client sessions (scaleout: per site)")
 		duration   = flag.Duration("duration", 5*time.Second, "measured window per scenario")
 		warmup     = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per scenario")
@@ -101,6 +107,7 @@ func main() {
 		sitesFlag  = flag.String("sites", "2,4,8", "scaleout: comma-separated cluster sizes")
 		crossFlag  = flag.String("cross-shard", "0,0.25,1", "scaleout: comma-separated fractions of cross-shard transactions, each in [0,1]")
 		protoFlag  = flag.String("proto", "3pc", "scaleout: commit protocol (2pc or 3pc)")
+		chaosSeeds = flag.Int("chaos-seeds", 25, "chaos: seeds per (scenario, protocol) cell")
 	)
 	flag.Parse()
 
@@ -115,6 +122,14 @@ func main() {
 	}
 
 	switch *mode {
+	case "chaos":
+		if *out == "" {
+			*out = "BENCH_chaos.json"
+		}
+		if err := runChaos(*chaosSeeds, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
 	case "transport":
 		bodies, err := parseInts(*bodiesFlag)
 		if err != nil {

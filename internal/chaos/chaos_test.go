@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"nbcommit/internal/transport"
+)
+
+func TestTopologyGeometry(t *testing.T) {
+	topo := DefaultWAN(3, 2)
+	if topo.Sites() != 6 {
+		t.Fatalf("sites = %d", topo.Sites())
+	}
+	if topo.Name != "wan-3x2" {
+		t.Fatalf("name = %q", topo.Name)
+	}
+	wantRegion := map[int]int{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2}
+	for site, region := range wantRegion {
+		if got := topo.Region(site); got != region {
+			t.Fatalf("region(%d) = %d, want %d", site, got, region)
+		}
+	}
+	if got := topo.RegionSites(1); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("regionSites(1) = %v", got)
+	}
+	// CrossPairs(0): 2 sites inside x 4 outside.
+	pairs := topo.CrossPairs(0)
+	if len(pairs) != 8 {
+		t.Fatalf("crossPairs(0) = %d pairs, want 8", len(pairs))
+	}
+	for _, p := range pairs {
+		if topo.Region(p[0]) != 0 || topo.Region(p[1]) == 0 {
+			t.Fatalf("crossPairs(0) yielded %v", p)
+		}
+	}
+}
+
+// TestTopologyApply verifies the installed link models by measuring delivery
+// delay: intra-region messages arrive within ~2ms, cross-region ones take tens
+// of milliseconds.
+func TestTopologyApply(t *testing.T) {
+	topo := DefaultWAN(3, 2)
+	cur := time.Unix(1000, 0)
+	n := transport.NewSimNetwork()
+	n.Seed(1)
+	n.UseClock(func() time.Time { return cur })
+	eps := map[int]transport.Endpoint{}
+	for s := 1; s <= topo.Sites(); s++ {
+		eps[s] = n.Endpoint(s)
+	}
+	topo.Apply(n)
+
+	measure := func(from, to int) time.Duration {
+		if err := eps[from].Send(transport.Message{To: to, Kind: "ping"}); err != nil {
+			t.Fatal(err)
+		}
+		due, ok := n.NextDue()
+		if !ok {
+			t.Fatalf("%d->%d: message vanished", from, to)
+		}
+		d := due.Sub(cur)
+		cur = cur.Add(time.Second) // make it deliverable and drain
+		for {
+			if _, ok := n.Take(0); !ok {
+				break
+			}
+		}
+		return d
+	}
+
+	if d := measure(1, 2); d < 500*time.Microsecond || d > 2*time.Millisecond {
+		t.Fatalf("intra-region delay = %v, want ~0.5-1.7ms", d)
+	}
+	if d := measure(1, 3); d < 10*time.Millisecond {
+		t.Fatalf("cross-region delay = %v, want tens of ms", d)
+	}
+}
+
+func TestEventConstructorsAndStrings(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		kind EventKind
+		str  string
+	}{
+		{PartitionRegion(2*time.Second, 0), EventPartitionRegion, "partition-region region=0 at=2s"},
+		{HealRegion(5*time.Second, 0), EventHealRegion, "heal-region region=0 at=5s"},
+		{IsolateOutbound(time.Second, 3), EventIsolateOutbound, "isolate-outbound site=3 at=1s"},
+		{HealOutbound(2*time.Second, 3), EventHealOutbound, "heal-outbound site=3 at=2s"},
+		{Gray(time.Second, 1, 25), EventGray, "gray site=1 factor=25.0 at=1s"},
+		{ClearGray(3*time.Second, 1), EventClearGray, "clear-gray site=1 at=3s"},
+		{Crash(time.Second, 4), EventCrash, "crash site=4 at=1s"},
+		{Recover(4*time.Second, 4), EventRecover, "recover site=4 at=4s"},
+		{SkewTimeout(time.Second, 2, 0.5), EventSkewTimeout, "skew-timeout site=2 factor=0.5 at=1s"},
+	}
+	for _, tc := range cases {
+		if tc.ev.Kind != tc.kind {
+			t.Fatalf("%v: kind = %v, want %v", tc.ev, tc.ev.Kind, tc.kind)
+		}
+		if got := tc.ev.String(); got != tc.str {
+			t.Fatalf("String() = %q, want %q", got, tc.str)
+		}
+	}
+}

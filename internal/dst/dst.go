@@ -42,6 +42,9 @@ type Config struct {
 	// Timeout is the engine protocol timeout on the virtual clock.
 	// Default 50ms (virtual — no real time passes).
 	Timeout time.Duration
+	// SiteTimeouts overrides Timeout per site — hostile topologies use it
+	// to skew one site's failure suspicion relative to its peers.
+	SiteTimeouts map[int]time.Duration
 	// Horizon bounds the virtual time a run may consume. Default 60s.
 	Horizon time.Duration
 	// MaxSteps bounds scheduler steps per run. Default 50000.
@@ -189,6 +192,11 @@ type cluster struct {
 	steps        int
 	trace        []string
 	failures     []string // harness-level failures (recovery errors, ...)
+
+	// observe, when set, runs before every virtual-time advance and at run
+	// exit — the instants at which the hostile harness samples outcomes and
+	// blocked states without perturbing the schedule.
+	observe func()
 }
 
 func newCluster(cfg Config, cp *CrashPoint) *cluster {
@@ -219,6 +227,15 @@ func newCluster(cfg Config, cp *CrashPoint) *cluster {
 	return c
 }
 
+// timeoutFor returns the protocol timeout for one site, honoring the
+// per-site skew table.
+func (c *cluster) timeoutFor(id int) time.Duration {
+	if d, ok := c.cfg.SiteTimeouts[id]; ok && d > 0 {
+		return d
+	}
+	return c.cfg.Timeout
+}
+
 func (c *cluster) startSite(id int) {
 	s, err := engine.New(engine.Config{
 		ID:            id,
@@ -227,7 +244,7 @@ func (c *cluster) startSite(id int) {
 		Resource:      c.res[id],
 		Detector:      c.net,
 		Protocol:      c.cfg.Protocol,
-		Timeout:       c.cfg.Timeout,
+		Timeout:       c.timeoutFor(id),
 		Clock:         c.clk,
 		Deterministic: true,
 	})
@@ -309,7 +326,7 @@ func (c *cluster) recoverSite(site int) {
 		Resource:      c.res[site],
 		Detector:      c.net,
 		Protocol:      c.cfg.Protocol,
-		Timeout:       c.cfg.Timeout,
+		Timeout:       c.timeoutFor(site),
 		Clock:         c.clk,
 		Deterministic: true,
 	})
@@ -325,13 +342,23 @@ func (c *cluster) recoverSite(site int) {
 // resolved — or, for 2PC, provably blocked on — every transaction it knows),
 // the plan and all timers are exhausted, or the step/virtual-time budget
 // runs out. A nil plan means FIFO delivery with no faults.
+//
+// Virtual time advances to whichever comes first: a timed schedule event, an
+// in-flight message's delivery instant (hostile latency models), or the next
+// engine timer. Deliverable messages always drain before time moves.
 func (c *cluster) run(p *plan) {
 	start := c.clk.Now()
+	defer func() {
+		if c.observe != nil {
+			c.observe()
+		}
+	}()
 	for c.steps < c.cfg.MaxSteps && c.clk.Now().Sub(start) < c.cfg.Horizon {
 		c.steps++
 		c.settlePendingCrashes()
 		if p != nil {
 			p.fire(c)
+			p.fireTimed(c, start)
 		}
 		if n := c.net.Pending(); n > 0 {
 			i := 0
@@ -362,13 +389,40 @@ func (c *cluster) run(p *plan) {
 		if p != nil && p.fireNext(c) {
 			continue // quiescent: pull the next scheduled fault forward
 		}
-		if c.allSettled() {
+		if c.allSettled() && (p == nil || p.timedDone()) {
 			return
 		}
-		if c.clk.Step() {
+		// Nothing deliverable now: advance virtual time to the next event —
+		// a timed schedule entry, a message due instant, or a timer — and
+		// let the observer sample the pre-advance state first.
+		now := c.clk.Now()
+		var next time.Time
+		if p != nil {
+			if at, ok := p.nextTimedAt(start); ok {
+				next = at
+			}
+		}
+		if due, ok := c.net.NextDue(); ok && due.After(now) && (next.IsZero() || due.Before(next)) {
+			next = due
+		}
+		if dl, ok := c.clk.NextDeadline(); ok && (next.IsZero() || dl.Before(next)) {
+			next = dl
+		}
+		if next.IsZero() {
+			return // no messages, no timers, no events, not settled: stuck
+		}
+		if c.observe != nil {
+			c.observe()
+		}
+		if !next.After(now) {
+			// A timed event is already due (or a timer is due now): let the
+			// clock fire timers up to now and loop to apply events.
+			if c.clk.Step() {
+				continue
+			}
 			continue
 		}
-		return // no messages, no timers, not settled: genuinely stuck
+		c.clk.Advance(next.Sub(now))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"nbcommit/internal/engine"
 	"nbcommit/internal/transport"
@@ -43,12 +44,24 @@ type action struct {
 	a, b int
 }
 
+// tevent is one virtual-time-stamped schedule entry (hostile schedules):
+// unlike step-stamped actions it fires when the clock reaches its instant,
+// never earlier.
+type tevent struct {
+	at    time.Duration // offset from run start
+	name  string
+	apply func(*cluster)
+}
+
 // plan drives a random schedule: an rng choosing delivery order plus a
-// step-stamped fault script.
+// step-stamped fault script and an optional virtual-time-stamped hostile
+// schedule (timed must be sorted by at).
 type plan struct {
 	rng     *rand.Rand
 	actions []action
 	next    int
+	timed   []tevent
+	tnext   int
 	// lossy enables fair-loss message drops: each (kind, txid, from, to)
 	// identity is dropped at most once, so retransmissions always get
 	// through eventually — any stall under this model is a missing-retry
@@ -56,6 +69,28 @@ type plan struct {
 	lossy   bool
 	dropped map[string]bool
 }
+
+// fireTimed applies every timed event whose virtual instant has arrived.
+func (p *plan) fireTimed(c *cluster, start time.Time) {
+	now := c.clk.Now()
+	for p.tnext < len(p.timed) && !start.Add(p.timed[p.tnext].at).After(now) {
+		ev := p.timed[p.tnext]
+		p.tnext++
+		c.tracef("event %s (t=%s)", ev.name, ev.at)
+		ev.apply(c)
+	}
+}
+
+// nextTimedAt returns the absolute instant of the next unfired timed event.
+func (p *plan) nextTimedAt(start time.Time) (time.Time, bool) {
+	if p.tnext >= len(p.timed) {
+		return time.Time{}, false
+	}
+	return start.Add(p.timed[p.tnext].at), true
+}
+
+// timedDone reports whether every timed event has fired.
+func (p *plan) timedDone() bool { return p.tnext >= len(p.timed) }
 
 // maybeDrop decides whether to lose this message (fair-loss model).
 func (p *plan) maybeDrop(m transport.Message) bool {

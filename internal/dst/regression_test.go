@@ -1,0 +1,21 @@
+package dst
+
+import "testing"
+
+// TestPinnedEngineBugs replays the exact seeded schedules that exposed each
+// previously fixed engine bug (EXPERIMENTS.md, "Bugs the harness caught").
+// Every seed here once produced a violation or a hang; a failure in this test
+// means one of those fixes regressed. The bug text on each scenario says what
+// to look at.
+func TestPinnedEngineBugs(t *testing.T) {
+	for _, rs := range RegressionScenarios() {
+		t.Run(rs.Name, func(t *testing.T) {
+			for i, r := range RunRegression(rs) {
+				seed := rs.Seeds[i]
+				if len(r.Violations) != 0 {
+					t.Errorf("seed %d (%s): %v\nbug: %s", seed, rs.Protocol, r.Violations, rs.Bug)
+				}
+			}
+		})
+	}
+}

@@ -37,7 +37,7 @@ func (s *Site) Begin(txid string, participants []int) error {
 		t.begunAt = s.clk.Now()
 	}
 	s.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: encodeMeta(meta)})
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 
 	// First phase: distribute the transaction ("Start Xact" / VOTE-REQ).
 	// Still under s.mu so the sends defer behind the begin record's
@@ -138,7 +138,7 @@ func (s *Site) maybeAllVotes(t *txState) {
 			s.send(p, KindPrepare, t.id, nil)
 		}
 	}
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 	s.maybeAllAcks(t) // a 2-site cohort with a crashed slave resolves now
 }
 
@@ -214,7 +214,7 @@ func (s *Site) coordinatorTimeout(t *txState) {
 				s.send(p, KindPrepare, t.id, nil)
 			}
 		}
-		s.armTimer(t, s.timeout)
+		s.armTimer(t, s.protoTimeout())
 	}
 }
 

@@ -99,7 +99,7 @@ func (s *Site) onPeerVoteResult(v *voteResult) {
 			s.send(p, KindDYes, t.id, nil)
 		}
 	}
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 	s.maybePeerVotesDone(t)
 }
 
@@ -177,7 +177,7 @@ func (s *Site) maybePeerVotesDone(t *txState) {
 			s.send(p, KindDPrepare, t.id, nil)
 		}
 	}
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 	s.maybePeerPreparesDone(t)
 }
 
@@ -268,7 +268,7 @@ func (s *Site) peerTimeout(t *txState) {
 				s.send(p, KindDPrepare, t.id, nil)
 			}
 		}
-		s.armTimer(t, s.timeout)
+		s.armTimer(t, s.protoTimeout())
 		return
 	}
 	if s.kind == TwoPhase && t.queried {

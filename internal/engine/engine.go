@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nbcommit/internal/clock"
@@ -317,7 +318,7 @@ type Site struct {
 	res         Resource
 	det         failure.Detector
 	kind        ProtocolKind
-	timeout     time.Duration
+	timeoutNs   atomic.Int64 // protocol timeout; read via protoTimeout
 	forgetAfter time.Duration
 	clk         clock.Clock
 	determin    bool
@@ -427,7 +428,6 @@ func New(cfg Config) (*Site, error) {
 		res:         cfg.Resource,
 		det:         cfg.Detector,
 		kind:        cfg.Protocol,
-		timeout:     to,
 		forgetAfter: cfg.ForgetAfter,
 		clk:         clk,
 		determin:    cfg.Deterministic,
@@ -445,6 +445,7 @@ func New(cfg Config) (*Site, error) {
 	if sl, ok := cfg.Log.(wal.StagedLog); ok && !cfg.Deterministic {
 		s.slog = sl
 	}
+	s.timeoutNs.Store(int64(to))
 	if s.metrics != nil {
 		s.metrics.registerSiteGauges(s)
 	}
@@ -453,6 +454,22 @@ func New(cfg Config) (*Site, error) {
 
 // ID returns the site's identifier.
 func (s *Site) ID() int { return s.id }
+
+// protoTimeout returns the current protocol timeout.
+func (s *Site) protoTimeout() time.Duration {
+	return time.Duration(s.timeoutNs.Load())
+}
+
+// SetTimeout changes the protocol timeout used for every timer armed from
+// now on (already armed timers keep their original deadline). Hostile
+// simulations use it to skew one site's failure suspicion relative to its
+// peers — a clock-skewed or misconfigured detector.
+func (s *Site) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.timeoutNs.Store(int64(d))
+}
 
 // Start launches the event loop and subscribes to crash reports. In
 // deterministic mode no goroutine is started: events are processed

@@ -52,7 +52,7 @@ func (s *Site) onPrepareResult(v *voteResult) {
 	s.mustLog(wal.Record{Type: wal.RecVoteYes, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
 	t.phase = phaseWait
 	s.send(t.meta.Coordinator, KindYes, t.id, nil)
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 }
 
 // onPrepareMsg moves a participant into the buffer state p (3PC).
@@ -72,7 +72,7 @@ func (s *Site) onPrepareMsg(m transport.Message) {
 		s.mustLog(wal.Record{Type: wal.RecPrepared, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
 		t.phase = phasePrepared
 		s.send(m.From, KindAck, t.id, nil)
-		s.armTimer(t, s.timeout)
+		s.armTimer(t, s.protoTimeout())
 	case phasePrepared:
 		s.send(m.From, KindAck, t.id, nil) // duplicate PREPARE: re-ack
 	}
@@ -166,7 +166,7 @@ func (s *Site) participantTimeout(t *txState) {
 		// The coordinator is operational, just slow or its message was
 		// lost; nudge it for the decision and keep waiting.
 		s.send(t.meta.Coordinator, KindDecideReq, t.id, nil)
-		s.armTimer(t, s.timeout)
+		s.armTimer(t, s.protoTimeout())
 		return
 	}
 	if s.kind == TwoPhase && t.queried {

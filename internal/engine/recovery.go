@@ -163,7 +163,7 @@ func (s *Site) queryOutcome(t *txState) {
 			s.send(p, KindDecideReq, t.id, nil)
 		}
 	}
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 }
 
 // retryRecovery re-queries the cohort for an in-doubt transaction. Requires

@@ -30,7 +30,7 @@ func (s *Site) startTermination(t *txState) {
 	if !ok {
 		// No operational candidate but ourselves ever exists (we are one);
 		// defensive re-arm.
-		s.armTimer(t, s.timeout)
+		s.armTimer(t, s.protoTimeout())
 		return
 	}
 	if backup == s.id {
@@ -40,7 +40,7 @@ func (s *Site) startTermination(t *txState) {
 	// Nudge the backup (it may be in q and not even know the transaction),
 	// then wait for it to drive phases 1 and 2.
 	s.send(backup, KindStatusReq, t.id, encodeMeta(t.meta))
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 }
 
 // electBackup picks the backup coordinator: the lowest-numbered operational,
@@ -85,7 +85,7 @@ func (s *Site) runBackup(t *txState) {
 			s.send(p, KindTermState, t.id, body)
 		}
 	}
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 	s.maybeTermPhase2(t)
 }
 
@@ -145,7 +145,7 @@ func (s *Site) onTermState(m transport.Message) {
 	}
 	t.fenced = true
 	s.send(m.From, KindTermAck, t.id, nil)
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 }
 
 // onTermAck collects phase-1 acknowledgements at the backup coordinator.
@@ -223,7 +223,7 @@ func (s *Site) startCooperative(t *txState) {
 			s.send(p, KindStatusReq, t.id, encodeMeta(t.meta))
 		}
 	}
-	s.armTimer(t, s.timeout)
+	s.armTimer(t, s.protoTimeout())
 }
 
 // onStatusReq answers a state query (2PC cooperative termination) or a
@@ -349,6 +349,6 @@ func (s *Site) evaluateCooperative(t *txState, final bool) {
 			s.record("blocked", t.id, "all operational sites uncertain")
 		}
 		t.blocked = true
-		s.armTimer(t, s.timeout)
+		s.armTimer(t, s.protoTimeout())
 	}
 }

@@ -1,14 +1,151 @@
 package transport
 
-import "sync"
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// DelayKind selects the shape of a link's propagation-delay distribution.
+type DelayKind int
+
+const (
+	// DelayNone delivers instantly — the classic SimNetwork behavior, and
+	// the default for every link with no model installed.
+	DelayNone DelayKind = iota
+	// DelayFixed adds a constant delay to every message.
+	DelayFixed
+	// DelayUniform draws each delay uniformly from [A, B].
+	DelayUniform
+	// DelayLognormal draws each delay from a lognormal distribution with
+	// median A and log-space standard deviation Sigma — the classic
+	// heavy-tailed WAN latency shape.
+	DelayLognormal
+)
+
+// DelayDist describes a per-message propagation delay. All randomness comes
+// from the network's seeded generator, never from wall time, so a fixed seed
+// reproduces the exact same delay sequence.
+type DelayDist struct {
+	Kind  DelayKind
+	A     time.Duration // Fixed: the delay. Uniform: min. Lognormal: median.
+	B     time.Duration // Uniform: max.
+	Sigma float64       // Lognormal: log-space standard deviation.
+}
+
+// FixedDelay delivers every message after exactly d.
+func FixedDelay(d time.Duration) DelayDist {
+	return DelayDist{Kind: DelayFixed, A: d}
+}
+
+// UniformDelay draws each delay uniformly from [min, max].
+func UniformDelay(min, max time.Duration) DelayDist {
+	return DelayDist{Kind: DelayUniform, A: min, B: max}
+}
+
+// LognormalDelay draws each delay from a lognormal distribution with the
+// given median and log-space standard deviation sigma (0.3–0.5 gives a
+// realistic WAN tail).
+func LognormalDelay(median time.Duration, sigma float64) DelayDist {
+	return DelayDist{Kind: DelayLognormal, A: median, Sigma: sigma}
+}
+
+// sample draws one delay. rng must not be nil unless Kind is DelayNone or
+// DelayFixed.
+func (d DelayDist) sample(rng *rand.Rand) time.Duration {
+	switch d.Kind {
+	case DelayFixed:
+		return d.A
+	case DelayUniform:
+		if d.B <= d.A {
+			return d.A
+		}
+		return d.A + time.Duration(rng.Int63n(int64(d.B-d.A)+1))
+	case DelayLognormal:
+		return time.Duration(float64(d.A) * math.Exp(rng.NormFloat64()*d.Sigma))
+	}
+	return 0
+}
+
+// LinkModel is the behavior of one directed link: a delay distribution, an
+// i.i.d. loss rate, and a reorder window. The zero value is the perfect
+// link: instant, lossless, FIFO.
+type LinkModel struct {
+	// Delay is drawn once per message at send time.
+	Delay DelayDist
+	// Loss is the probability in [0,1) that a message is lost on the link
+	// (counted under SimDropLoss).
+	Loss float64
+	// ReorderWindow adds uniform [0, W) jitter to each message's delivery
+	// time, so messages on the same link can overtake each other without
+	// any bandwidth modelling.
+	ReorderWindow time.Duration
+}
+
+// SimDropCause classifies why the SimNetwork dropped a message, mirroring
+// the TCP transport's transport_dropped_total{cause} split.
+type SimDropCause int
+
+const (
+	// SimDropLoss: random loss drawn from the link's loss rate.
+	SimDropLoss SimDropCause = iota
+	// SimDropPartition: the directed link was blocked at send time.
+	SimDropPartition
+	// SimDropCrash: the destination was down at send time, or the message
+	// was purged from the queue when its destination crashed.
+	SimDropCrash
+	numSimDropCauses
+)
+
+// SimDropCauses lists every cause, for metric registration loops.
+var SimDropCauses = [numSimDropCauses]SimDropCause{
+	SimDropLoss, SimDropPartition, SimDropCrash,
+}
+
+func (c SimDropCause) String() string {
+	switch c {
+	case SimDropLoss:
+		return "loss"
+	case SimDropPartition:
+		return "partition"
+	case SimDropCrash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// simMsg is one captured message plus the virtual instant it becomes
+// deliverable. A zero due time means "immediately" (no clock installed or a
+// zero-delay link).
+type simMsg struct {
+	m   Message
+	due time.Time
+}
 
 // SimNetwork is the deterministic message substrate for simulation testing
 // (internal/dst). Instead of delivering messages into endpoint inboxes,
 // every Send is captured into a single pending queue in send order; a
-// scheduler inspects the queue with Peek/Take and hands each message to its
-// destination site explicitly (engine.Site.Deliver), choosing the delivery
-// order. That makes every interleaving of a cluster run reproducible from a
-// seed.
+// scheduler inspects the deliverable ones with Peek/Take and hands each
+// message to its destination site explicitly (engine.Site.Deliver), choosing
+// the delivery order. That makes every interleaving of a cluster run
+// reproducible from a seed.
+//
+// On top of the capture queue sits an optional hostile network model, all of
+// it deterministic:
+//
+//   - per-link delay distributions (UseClock + SetLink): a message sent at
+//     virtual time t with sampled delay d becomes deliverable at t+d, so the
+//     scheduler must advance the virtual clock (NextDue) before Take sees it;
+//   - per-link i.i.d. loss and reorder windows, driven by the seeded
+//     generator (Seed) rather than wall-clock entropy;
+//   - asymmetric partitions (BlockOneWay): each direction of a link is cut
+//     independently; sends into a cut link are dropped, while messages
+//     already in flight are held and flushed — not dropped — when the link
+//     heals;
+//   - gray sites (SetGray): every link touching the site runs N× slower,
+//     while Alive still reports true — slow-but-alive, the failure mode
+//     timeout-based detectors misjudge.
 //
 // SimNetwork also plays the paper's reliable failure reporter: Alive and
 // Watch expose exactly the perfect-detector view of its crash state, so a
@@ -19,20 +156,83 @@ type SimNetwork struct {
 	down     map[int]bool
 	reported map[int]bool // crash watchers already notified
 	blocked  map[[2]int]bool
-	queue    []Message
+	queue    []simMsg
 	watchers []func(site int)
 	sent     uint64
-	dropped  uint64
+	drops    [numSimDropCauses]uint64
+
+	now     func() time.Time // nil: no latency modelling, everything instant
+	rng     *rand.Rand
+	defLink LinkModel
+	links   map[[2]int]LinkModel
+	gray    map[int]float64
 }
 
-// NewSimNetwork returns an empty deterministic network.
+// NewSimNetwork returns an empty deterministic network with perfect links.
 func NewSimNetwork() *SimNetwork {
 	return &SimNetwork{
 		attached: map[int]bool{},
 		down:     map[int]bool{},
 		reported: map[int]bool{},
 		blocked:  map[[2]int]bool{},
+		links:    map[[2]int]LinkModel{},
+		gray:     map[int]float64{},
+		rng:      rand.New(rand.NewSource(1)),
 	}
+}
+
+// UseClock installs the virtual time source used to stamp message delivery
+// deadlines. Without a clock every link is instant regardless of its delay
+// model. The function must be cheap and is called with the network lock
+// held; clock.Virtual's Now qualifies.
+func (n *SimNetwork) UseClock(now func() time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now = now
+}
+
+// Seed resets the generator behind loss, delay sampling and reorder jitter.
+// Same seed + same send sequence = same delivery schedule.
+func (n *SimNetwork) Seed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetDefaultLink installs the model used by every directed link that has no
+// specific model.
+func (n *SimNetwork) SetDefaultLink(m LinkModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defLink = m
+}
+
+// SetLink installs the model for the directed link from -> to.
+func (n *SimNetwork) SetLink(from, to int, m LinkModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]int{from, to}] = m
+}
+
+// SetLinkBoth installs the same model for both directions between a and b.
+func (n *SimNetwork) SetLinkBoth(a, b int, m LinkModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]int{a, b}] = m
+	n.links[[2]int{b, a}] = m
+}
+
+// SetGray marks a site gray: every message to or from it takes factor times
+// its sampled link delay, while Alive keeps reporting true — the site is
+// slow, not dead. factor <= 1 clears the gray state.
+func (n *SimNetwork) SetGray(id int, factor float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if factor <= 1 {
+		delete(n.gray, id)
+		return
+	}
+	n.gray[id] = factor
 }
 
 // Endpoint attaches (or re-attaches) site id. Re-attaching after a crash
@@ -71,12 +271,12 @@ func (n *SimNetwork) Crash(id int) {
 	n.down[id] = true
 	n.reported[id] = true
 	kept := n.queue[:0]
-	for _, m := range n.queue {
-		if m.To == id {
-			n.dropped++
+	for _, q := range n.queue {
+		if q.m.To == id {
+			n.drops[SimDropCrash]++
 			continue
 		}
-		kept = append(kept, m)
+		kept = append(kept, q)
 	}
 	n.queue = kept
 	watchers := append([]func(int){}, n.watchers...)
@@ -87,7 +287,8 @@ func (n *SimNetwork) Crash(id int) {
 }
 
 // Alive reports whether the site is attached and not crashed — the perfect
-// failure detector of the paper's model.
+// failure detector of the paper's model. Gray sites are alive: slowness is
+// invisible to the detector, which is the point of modelling them.
 func (n *SimNetwork) Alive(id int) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -101,57 +302,163 @@ func (n *SimNetwork) Watch(cb func(site int)) {
 	n.watchers = append(n.watchers, cb)
 }
 
-// Block cuts the link between two sites in both directions; messages sent
-// across it are lost (the senders' retransmissions recover them after
-// Unblock).
+// Block cuts the link between two sites in both directions. New sends across
+// it are lost (the senders' retransmissions recover them after Unblock);
+// messages already in flight are held and delivered after the heal.
 func (n *SimNetwork) Block(a, b int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.blocked[link(a, b)] = true
+	n.blocked[[2]int{a, b}] = true
+	n.blocked[[2]int{b, a}] = true
 }
 
-// Unblock restores the link between two sites.
+// Unblock restores the link between two sites in both directions, flushing
+// (not dropping) any held in-flight messages.
 func (n *SimNetwork) Unblock(a, b int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.blocked, link(a, b))
+	delete(n.blocked, [2]int{a, b})
+	delete(n.blocked, [2]int{b, a})
 }
 
-// Pending reports the number of captured, undelivered messages.
+// BlockOneWay cuts only the from -> to direction — the asymmetric partition:
+// from's messages to to are lost while to's messages to from still deliver.
+func (n *SimNetwork) BlockOneWay(from, to int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]int{from, to}] = true
+}
+
+// UnblockOneWay restores the from -> to direction.
+func (n *SimNetwork) UnblockOneWay(from, to int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]int{from, to})
+}
+
+// nowLocked reads the virtual clock, or zero when none is installed.
+// Requires n.mu held.
+func (n *SimNetwork) nowLocked() time.Time {
+	if n.now == nil {
+		return time.Time{}
+	}
+	return n.now()
+}
+
+// deliverableLocked reports whether queue entry q can be handed to the
+// scheduler now: its due instant has passed and its link is not cut. A held
+// message (cut link) stays queued so a heal flushes it. Requires n.mu held.
+func (n *SimNetwork) deliverableLocked(q simMsg, now time.Time) bool {
+	if n.blocked[[2]int{q.m.From, q.m.To}] {
+		return false
+	}
+	return q.due.IsZero() || !q.due.After(now)
+}
+
+// readyLocked returns the queue indices of deliverable messages, in send
+// order. Requires n.mu held.
+func (n *SimNetwork) readyLocked() []int {
+	now := n.nowLocked()
+	var idx []int
+	for i, q := range n.queue {
+		if n.deliverableLocked(q, now) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Pending reports the number of captured messages deliverable right now —
+// due instant reached, link open. Messages still "on the wire" (delayed or
+// held behind a cut link) are counted by InFlight instead.
 func (n *SimNetwork) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.readyLocked())
+}
+
+// InFlight reports every captured, undelivered message, deliverable or not.
+func (n *SimNetwork) InFlight() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.queue)
 }
 
-// Peek returns the i-th pending message without removing it.
+// NextDue returns the earliest future instant at which a currently
+// undeliverable message becomes deliverable, so a scheduler knows how far to
+// advance the virtual clock. Messages held behind a cut link have no due
+// instant (only a heal releases them) and are excluded.
+func (n *SimNetwork) NextDue() (time.Time, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var best time.Time
+	found := false
+	for _, q := range n.queue {
+		if q.due.IsZero() || n.blocked[[2]int{q.m.From, q.m.To}] {
+			continue
+		}
+		if !found || q.due.Before(best) {
+			best, found = q.due, true
+		}
+	}
+	return best, found
+}
+
+// Peek returns the i-th deliverable message without removing it.
 func (n *SimNetwork) Peek(i int) (Message, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if i < 0 || i >= len(n.queue) {
+	idx := n.readyLocked()
+	if i < 0 || i >= len(idx) {
 		return Message{}, false
 	}
-	return n.queue[i], true
+	return n.queue[idx[i]].m, true
 }
 
-// Take removes and returns the i-th pending message; the scheduler then
+// Take removes and returns the i-th deliverable message; the scheduler then
 // delivers it (or drops it, if the destination crashed meanwhile).
 func (n *SimNetwork) Take(i int) (Message, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if i < 0 || i >= len(n.queue) {
+	idx := n.readyLocked()
+	if i < 0 || i >= len(idx) {
 		return Message{}, false
 	}
-	m := n.queue[i]
-	n.queue = append(n.queue[:i], n.queue[i+1:]...)
+	j := idx[i]
+	m := n.queue[j].m
+	n.queue = append(n.queue[:j], n.queue[j+1:]...)
 	return m, true
 }
 
-// Stats returns the number of messages captured and dropped so far.
+// Stats returns the number of messages captured and dropped (all causes) so
+// far.
 func (n *SimNetwork) Stats() (sent, dropped uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.sent, n.dropped
+	for _, d := range n.drops {
+		dropped += d
+	}
+	return n.sent, dropped
+}
+
+// DroppedCause returns how many messages were dropped for one cause. The
+// causes sum to the dropped total reported by Stats.
+func (n *SimNetwork) DroppedCause(c SimDropCause) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c < 0 || c >= numSimDropCauses {
+		return 0
+	}
+	return n.drops[c]
+}
+
+// linkLocked returns the model of the directed link from -> to. Requires
+// n.mu held.
+func (n *SimNetwork) linkLocked(from, to int) LinkModel {
+	if m, ok := n.links[[2]int{from, to}]; ok {
+		return m
+	}
+	return n.defLink
 }
 
 type simEndpoint struct {
@@ -175,11 +482,34 @@ func (e *simEndpoint) Send(m Message) error {
 	if !n.attached[e.id] || n.down[e.id] {
 		return ErrClosed
 	}
-	if !n.attached[m.To] || n.down[m.To] || n.blocked[link(e.id, m.To)] {
-		n.dropped++
+	if !n.attached[m.To] || n.down[m.To] {
+		n.drops[SimDropCrash]++
 		return nil // crash-stop: the message is lost, not an error
 	}
-	n.queue = append(n.queue, m)
+	if n.blocked[[2]int{e.id, m.To}] {
+		n.drops[SimDropPartition]++
+		return nil // partitioned: lost on the cut link
+	}
+	lm := n.linkLocked(e.id, m.To)
+	if lm.Loss > 0 && n.rng.Float64() < lm.Loss {
+		n.drops[SimDropLoss]++
+		return nil
+	}
+	q := simMsg{m: m}
+	if now := n.nowLocked(); !now.IsZero() {
+		d := lm.Delay.sample(n.rng)
+		if lm.ReorderWindow > 0 {
+			d += time.Duration(n.rng.Int63n(int64(lm.ReorderWindow)))
+		}
+		if f, ok := n.gray[e.id]; ok {
+			d = time.Duration(float64(d) * f)
+		}
+		if f, ok := n.gray[m.To]; ok {
+			d = time.Duration(float64(d) * f)
+		}
+		q.due = now.Add(d)
+	}
+	n.queue = append(n.queue, q)
 	n.sent++
 	return nil
 }
