@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
+.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-allocs bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
 
 all: build vet test
 
@@ -49,6 +49,18 @@ bench-throughput:
 # Short smoke for CI: same harness, small load, throwaway output.
 bench-throughput-smoke:
 	$(GO) run ./cmd/loadgen -clients 8 -duration 500ms -warmup 200ms -out /tmp/bench-smoke.json
+
+# Allocation regression guard for the engine hot path: a full three-site
+# commit (Begin through coordinator decision, in-memory substrate) must stay
+# within the allocs/op budget. The pre-sharded-core engine measured 74 (2PC)
+# and 94 (3PC) allocs/op; the budgets hold the refactored path's gains with
+# headroom for noise.
+bench-allocs:
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineCommitAllocs$$' -benchmem -benchtime 2000x ./internal/engine | tee /tmp/engine-allocs.txt
+	@awk ' \
+		/BenchmarkEngineCommitAllocs\/2PC/ { if ($$(NF-1)+0 > 60) { print "FAIL: 2PC " $$(NF-1) " allocs/op exceeds budget 60"; bad=1 } } \
+		/BenchmarkEngineCommitAllocs\/3PC/ { if ($$(NF-1)+0 > 70) { print "FAIL: 3PC " $$(NF-1) " allocs/op exceeds budget 70"; bad=1 } } \
+		END { if (bad) exit 1; print "alloc budgets ok (2PC <= 60, 3PC <= 70)" }' /tmp/engine-allocs.txt
 
 # Transport microbenchmark: raw message throughput and latency between two
 # TCP endpoints on loopback, gob vs binary codec, coalescing on and off, at

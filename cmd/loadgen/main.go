@@ -36,6 +36,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -102,14 +103,28 @@ func main() {
 		out        = flag.String("out", "", "JSON report path (default per mode)")
 		dir        = flag.String("dir", "", "WAL directory (default: a temp dir; use a real disk to measure real fsyncs)")
 		forget     = flag.Duration("forget-after", 250*time.Millisecond, "engine auto-forget grace period")
+		shards     = flag.Int("shards", 0, "engine event-loop shards per site (0 = GOMAXPROCS)")
 		bodiesFlag = flag.String("bodies", "1,8,64", "transport: comma-separated message body sizes in bytes")
 		senders    = flag.Int("senders", 8, "transport: concurrent sender goroutines")
 		sitesFlag  = flag.String("sites", "2,4,8", "scaleout: comma-separated cluster sizes")
 		crossFlag  = flag.String("cross-shard", "0,0.25,1", "scaleout: comma-separated fractions of cross-shard transactions, each in [0,1]")
 		protoFlag  = flag.String("proto", "3pc", "scaleout: commit protocol (2pc or 3pc)")
 		chaosSeeds = flag.Int("chaos-seeds", 25, "chaos: seeds per (scenario, protocol) cell")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering every scenario run")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	base := *dir
 	if base == "" {
@@ -160,7 +175,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_shard_scaleout.json"
 		}
-		if err := runScaleout(proto, sites, ratios, *clients, *duration, *warmup, *forget, base, *out); err != nil {
+		if err := runScaleout(proto, sites, ratios, *clients, *duration, *warmup, *forget, *shards, base, *out); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -175,7 +190,7 @@ func main() {
 	rep := report{Clients: *clients, DurationS: duration.Seconds()}
 	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
 		for _, group := range []bool{false, true} {
-			res, err := runScenario(proto, group, *clients, *duration, *warmup, *forget, base)
+			res, err := runScenario(proto, group, *clients, *duration, *warmup, *forget, *shards, base)
 			if err != nil {
 				log.Fatalf("loadgen: %s group=%v: %v", proto, group, err)
 			}
@@ -219,7 +234,7 @@ func speedup(scenarios []scenarioResult, proto string) float64 {
 	return group / base
 }
 
-func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, warmup, forget time.Duration, base string) (*scenarioResult, error) {
+func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, warmup, forget time.Duration, shards int, base string) (*scenarioResult, error) {
 	walName := "fsync-per-record"
 	if group {
 		walName = "group"
@@ -241,6 +256,7 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 		SyncWAL:       true,
 		NoGroupCommit: !group,
 		ForgetAfter:   forget,
+		Shards:        shards,
 		Registry:      reg,
 		WALMetrics: wal.Metrics{
 			BatchRecords: func(n int) {

@@ -89,7 +89,7 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func runScaleout(proto engine.ProtocolKind, sites []int, ratios []float64, clients int, duration, warmup, forget time.Duration, base, out string) error {
+func runScaleout(proto engine.ProtocolKind, sites []int, ratios []float64, clients int, duration, warmup, forget time.Duration, shards int, base, out string) error {
 	rep := scaleoutReport{
 		Mode: "scaleout", Protocol: proto.String(),
 		ClientsPerSite: clients, DurationS: duration.Seconds(),
@@ -97,7 +97,7 @@ func runScaleout(proto engine.ProtocolKind, sites []int, ratios []float64, clien
 	failed := false
 	for _, n := range sites {
 		for _, ratio := range ratios {
-			res, err := runShardScenario(proto, n, ratio, clients, duration, warmup, forget, base)
+			res, err := runShardScenario(proto, n, ratio, clients, duration, warmup, forget, shards, base)
 			if err != nil {
 				return fmt.Errorf("loadgen: %d sites ratio %.2f: %w", n, ratio, err)
 			}
@@ -131,7 +131,7 @@ type clientState struct {
 	tainted  map[string]bool   // keys whose last outcome was unresolved
 }
 
-func runShardScenario(proto engine.ProtocolKind, n int, ratio float64, perSite int, duration, warmup, forget time.Duration, base string) (*shardScenario, error) {
+func runShardScenario(proto engine.ProtocolKind, n int, ratio float64, perSite int, duration, warmup, forget time.Duration, shards int, base string) (*shardScenario, error) {
 	clients := perSite * n // weak scaling: offered load grows with the cluster
 	dir, err := os.MkdirTemp(base, fmt.Sprintf("scaleout-%d-", n))
 	if err != nil {
@@ -146,6 +146,7 @@ func runShardScenario(proto engine.ProtocolKind, n int, ratio float64, perSite i
 		Dir:         dir,
 		SyncWAL:     true,
 		ForgetAfter: forget,
+		Shards:      shards,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,387 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Wheel is a hierarchical (hashed) timer wheel driven by an injected Clock.
+// It multiplexes any number of keyed timers onto a single underlying clock
+// timer: arming and cancelling are O(1) bucket operations, and the wheel
+// re-arms its one clock timer for the earliest pending deadline. Because the
+// only time source is the injected Clock, a wheel over a Virtual clock fires
+// deterministically when the simulation advances — the property the DST
+// harness depends on.
+//
+// Timers fire at their exact deadline, never early: the tick size only
+// controls bucketing granularity (slot cascading), not firing precision.
+// Every fire is delivered to the single WheelFunc given at construction with
+// the key and generation it was armed with; the generation is how owners
+// reject stale fires that were already in flight when the timer was re-armed
+// or cancelled (node handles are pooled, so a Stop racing a fire is resolved
+// by an epoch check inside the wheel, and a fire racing a re-arm is resolved
+// by the owner's generation check).
+type Wheel struct {
+	clk  Clock
+	tick time.Duration
+	fire WheelFunc
+
+	mu      sync.Mutex
+	base    time.Time // tick 0 origin
+	asOf    time.Time // exact instant the wheel has advanced through
+	cur     int64     // tick containing asOf
+	slots   [wheelLevels][wheelSlots]wheelSlot
+	over    wheelSlot // deadlines beyond the wheel's span
+	count   int
+	free    *wheelNode // recycled nodes (bounded)
+	freeN   int
+	armed   Timer     // underlying clock timer, nil when idle
+	armedAt time.Time // deadline the underlying timer is armed for
+	stopped bool
+}
+
+// WheelFunc receives the key and generation of every fired timer.
+type WheelFunc func(key string, gen uint64)
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64 slots per level
+	wheelLevels = 4              // spans 64^4 ≈ 16.7M ticks
+	wheelSpan   = 1 << (wheelBits * wheelLevels)
+	maxFreeList = 1024
+)
+
+type wheelSlot struct {
+	head, tail *wheelNode
+}
+
+type wheelNode struct {
+	w          *Wheel
+	key        string
+	gen        uint64
+	when       time.Time
+	epoch      uint64 // bumped on every recycle; stale handles are rejected
+	level      int8   // -1 when unlinked, wheelLevels for the overflow list
+	slot       int16
+	prev, next *wheelNode
+}
+
+// WheelTimer is a handle to one armed wheel entry. The zero value is inert.
+// Handles stay valid after the entry fires or is cancelled: Stop and Armed
+// simply report false once the underlying node has moved on.
+type WheelTimer struct {
+	node  *wheelNode
+	epoch uint64
+}
+
+// Stop cancels the timer, reporting whether it was still pending. Stopping
+// does not guarantee an already-collected fire will not be delivered — owners
+// using generations (see Wheel doc) reject that delivery.
+func (t WheelTimer) Stop() bool {
+	if t.node == nil {
+		return false
+	}
+	return t.node.w.cancel(t.node, t.epoch)
+}
+
+// Armed reports whether the timer is still pending.
+func (t WheelTimer) Armed() bool {
+	if t.node == nil {
+		return false
+	}
+	w := t.node.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return t.node.epoch == t.epoch && t.node.level >= 0
+}
+
+// NewWheel builds a wheel over clk with the given bucketing granularity
+// (clamped to at least 1ms); fire receives every expiry. The wheel starts
+// idle: no underlying clock timer exists until a timer is scheduled.
+func NewWheel(clk Clock, tick time.Duration, fire WheelFunc) *Wheel {
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	now := clk.Now()
+	return &Wheel{clk: clk, tick: tick, fire: fire, base: now, asOf: now}
+}
+
+// Schedule arms a timer for d from now carrying (key, gen). A non-positive d
+// fires at the next underlying clock fire (immediately on a wall clock, on
+// the next advance of a virtual one).
+func (w *Wheel) Schedule(d time.Duration, key string, gen uint64) WheelTimer {
+	if d < 0 {
+		d = 0
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return WheelTimer{}
+	}
+	n := w.alloc()
+	n.key, n.gen = key, gen
+	n.when = w.clk.Now().Add(d)
+	w.place(n)
+	w.count++
+	h := WheelTimer{node: n, epoch: n.epoch}
+	// Only re-arm when this deadline beats the armed one; later deadlines
+	// are discovered when the armed timer fires.
+	if w.armed == nil || n.when.Before(w.armedAt) {
+		w.rearmLocked(n.when)
+	}
+	w.mu.Unlock()
+	return h
+}
+
+// Len reports the number of pending timers.
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Stop shuts the wheel down: pending timers never fire and further Schedule
+// calls return inert handles.
+func (w *Wheel) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	if w.armed != nil {
+		w.armed.Stop()
+		w.armed = nil
+	}
+	w.mu.Unlock()
+}
+
+// tickOf maps an instant to its tick index (floor).
+func (w *Wheel) tickOf(tm time.Time) int64 {
+	return int64(tm.Sub(w.base) / w.tick)
+}
+
+// place links n into the slot its deadline hashes to, relative to the
+// current cursor. Requires w.mu held.
+func (w *Wheel) place(n *wheelNode) {
+	idx := w.tickOf(n.when)
+	delta := idx - w.cur
+	if delta >= wheelSpan {
+		n.level, n.slot = wheelLevels, 0
+		w.over.push(n)
+		return
+	}
+	if delta < 0 {
+		idx = w.cur // already due: current slot, fired on the next advance
+	}
+	level := 0
+	for delta >= wheelSlots {
+		delta >>= wheelBits
+		level++
+	}
+	slot := int16((idx >> (wheelBits * level)) & (wheelSlots - 1))
+	n.level, n.slot = int8(level), slot
+	w.slots[level][slot].push(n)
+}
+
+func (s *wheelSlot) push(n *wheelNode) {
+	n.prev, n.next = s.tail, nil
+	if s.tail != nil {
+		s.tail.next = n
+	} else {
+		s.head = n
+	}
+	s.tail = n
+}
+
+func (s *wheelSlot) unlink(n *wheelNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (w *Wheel) alloc() *wheelNode {
+	if n := w.free; n != nil {
+		w.free = n.next
+		w.freeN--
+		n.next = nil
+		return n
+	}
+	return &wheelNode{w: w}
+}
+
+// recycle invalidates every outstanding handle to n and returns it to the
+// free list. Requires w.mu held and n unlinked.
+func (w *Wheel) recycle(n *wheelNode) {
+	n.epoch++
+	n.level = -1
+	n.key = ""
+	if w.freeN >= maxFreeList {
+		return
+	}
+	n.next = w.free
+	w.free = n
+	w.freeN++
+}
+
+// cancel removes a pending node if the handle is still current.
+func (w *Wheel) cancel(n *wheelNode, epoch uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n.epoch != epoch || n.level < 0 {
+		return false
+	}
+	if n.level >= wheelLevels {
+		w.over.unlink(n)
+	} else {
+		w.slots[n.level][n.slot].unlink(n)
+	}
+	w.count--
+	w.recycle(n)
+	return true
+}
+
+// firedEntry is one expiry collected under the lock and delivered outside it.
+type firedEntry struct {
+	key string
+	gen uint64
+}
+
+// onTick is the underlying clock timer's callback: advance the wheel to now,
+// deliver every due expiry, and re-arm for the next deadline.
+func (w *Wheel) onTick() {
+	var stack [16]firedEntry
+	fired := stack[:0]
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.armed = nil
+	fired = w.advance(w.clk.Now(), fired)
+	if next, ok := w.nextDeadlineLocked(); ok {
+		w.rearmLocked(next)
+	}
+	w.mu.Unlock()
+	for _, f := range fired {
+		w.fire(f.key, f.gen)
+	}
+}
+
+// rearmLocked points the underlying clock timer at deadline. Requires w.mu
+// held.
+func (w *Wheel) rearmLocked(deadline time.Time) {
+	if w.armed != nil {
+		w.armed.Stop()
+	}
+	w.armedAt = deadline
+	w.armed = w.clk.AfterFunc(deadline.Sub(w.clk.Now()), w.onTick)
+}
+
+// advance walks the cursor to now, cascading higher levels at their window
+// boundaries and collecting every node whose exact deadline has passed.
+// Requires w.mu held.
+func (w *Wheel) advance(now time.Time, fired []firedEntry) []firedEntry {
+	if now.Before(w.asOf) {
+		return fired
+	}
+	if w.count == 0 {
+		// Fast-forward an empty wheel: nothing to cascade or fire.
+		w.cur = w.tickOf(now)
+		w.asOf = now
+		return fired
+	}
+	target := w.tickOf(now)
+	for {
+		fired = w.expire(&w.slots[0][w.cur&(wheelSlots-1)], now, fired)
+		if w.cur >= target {
+			break
+		}
+		w.cur++
+		if w.cur&(wheelSlots-1) == 0 {
+			w.cascade()
+		}
+	}
+	w.asOf = now
+	return fired
+}
+
+// expire collects the nodes of one slot whose deadline is at or before now.
+// Requires w.mu held.
+func (w *Wheel) expire(s *wheelSlot, now time.Time, fired []firedEntry) []firedEntry {
+	n := s.head
+	for n != nil {
+		next := n.next
+		if !n.when.After(now) {
+			s.unlink(n)
+			w.count--
+			fired = append(fired, firedEntry{key: n.key, gen: n.gen})
+			w.recycle(n)
+		}
+		n = next
+	}
+	return fired
+}
+
+// cascade re-files the nodes of every higher-level slot whose window the
+// cursor just entered, highest level first so entries sift down one level at
+// a time. Requires w.mu held, with w.cur a multiple of wheelSlots.
+func (w *Wheel) cascade() {
+	top := 1
+	for l := 2; l <= wheelLevels; l++ {
+		if w.cur&((1<<(wheelBits*l))-1) == 0 {
+			top = l
+		}
+	}
+	for l := top; l >= 1; l-- {
+		var s *wheelSlot
+		if l == wheelLevels {
+			s = &w.over
+		} else {
+			s = &w.slots[l][(w.cur>>(wheelBits*l))&(wheelSlots-1)]
+		}
+		n := s.head
+		s.head, s.tail = nil, nil
+		for n != nil {
+			next := n.next
+			n.prev, n.next = nil, nil
+			w.place(n)
+			n = next
+		}
+	}
+}
+
+// nextDeadlineLocked finds the earliest pending deadline: the exact minimum
+// within the first non-empty slot at each level (later slots at the same
+// level can only hold later deadlines). Requires w.mu held.
+func (w *Wheel) nextDeadlineLocked() (time.Time, bool) {
+	if w.count == 0 {
+		return time.Time{}, false
+	}
+	var best time.Time
+	for l := 0; l < wheelLevels; l++ {
+		pos := w.cur >> (wheelBits * l)
+		for i := int64(0); i < wheelSlots; i++ {
+			s := &w.slots[l][(pos+i)&(wheelSlots-1)]
+			if s.head == nil {
+				continue
+			}
+			for n := s.head; n != nil; n = n.next {
+				if best.IsZero() || n.when.Before(best) {
+					best = n.when
+				}
+			}
+			break
+		}
+	}
+	for n := w.over.head; n != nil; n = n.next {
+		if best.IsZero() || n.when.Before(best) {
+			best = n.when
+		}
+	}
+	return best, !best.IsZero()
+}

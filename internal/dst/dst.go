@@ -45,6 +45,9 @@ type Config struct {
 	// SiteTimeouts overrides Timeout per site — hostile topologies use it
 	// to skew one site's failure suspicion relative to its peers.
 	SiteTimeouts map[int]time.Duration
+	// Shards is the engine shard count per site (0 = engine default). The
+	// determinism tests vary it to prove traces are shard-count-invariant.
+	Shards int
 	// Horizon bounds the virtual time a run may consume. Default 60s.
 	Horizon time.Duration
 	// MaxSteps bounds scheduler steps per run. Default 50000.
@@ -245,6 +248,7 @@ func (c *cluster) startSite(id int) {
 		Detector:      c.net,
 		Protocol:      c.cfg.Protocol,
 		Timeout:       c.timeoutFor(id),
+		Shards:        c.cfg.Shards,
 		Clock:         c.clk,
 		Deterministic: true,
 	})
@@ -327,6 +331,7 @@ func (c *cluster) recoverSite(site int) {
 		Detector:      c.net,
 		Protocol:      c.cfg.Protocol,
 		Timeout:       c.timeoutFor(site),
+		Shards:        c.cfg.Shards,
 		Clock:         c.clk,
 		Deterministic: true,
 	})

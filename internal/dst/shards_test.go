@@ -1,0 +1,54 @@
+package dst
+
+// The engine's sharded runtime must be invisible to deterministic
+// simulation: the same seed has to produce byte-identical traces and WAL
+// digests whatever Config.Shards is, because the timer wheel is per site
+// (not per shard) and crash reports visit transactions in globally sorted
+// order. This is the property that lets a seed reported from a
+// production-shaped (multi-shard) configuration be replayed anywhere.
+
+import (
+	"testing"
+
+	"nbcommit/internal/engine"
+)
+
+func TestShardCountInvariantDeterminism(t *testing.T) {
+	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+			base := RunRandom(Config{Protocol: proto, Shards: 1}, seed)
+			for _, shards := range []int{2, 8} {
+				got := RunRandom(Config{Protocol: proto, Shards: shards}, seed)
+				if got.WALDigest != base.WALDigest {
+					t.Fatalf("%s seed %d: WAL digest differs between 1 and %d shards: %s vs %s",
+						proto, seed, shards, base.WALDigest, got.WALDigest)
+				}
+				if len(got.Trace) != len(base.Trace) {
+					t.Fatalf("%s seed %d: trace length differs between 1 and %d shards: %d vs %d",
+						proto, seed, shards, len(base.Trace), len(got.Trace))
+				}
+				for i := range base.Trace {
+					if got.Trace[i] != base.Trace[i] {
+						t.Fatalf("%s seed %d: traces diverge at step %d with %d shards:\n  %s\n  %s",
+							proto, seed, i, shards, base.Trace[i], got.Trace[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Crash-point schedules (mid-protocol crash + recovery) replay
+	// identically across shard counts too.
+	cfg := Config{Protocol: engine.ThreePhase}
+	pts := enumerateCrashPoints(cfg.withDefaults())
+	if len(pts) == 0 {
+		t.Fatal("no crash points enumerated")
+	}
+	for _, cp := range []CrashPoint{pts[0], pts[len(pts)/2], pts[len(pts)-1]} {
+		a := RunCrashPoint(Config{Protocol: engine.ThreePhase, Shards: 1}, cp)
+		b := RunCrashPoint(Config{Protocol: engine.ThreePhase, Shards: 8}, cp)
+		if a.WALDigest != b.WALDigest || len(a.Trace) != len(b.Trace) {
+			t.Fatalf("crash point %s: 1-shard and 8-shard runs diverge", cp)
+		}
+	}
+}

@@ -123,6 +123,9 @@ type Options struct {
 	// ForgetAfter enables the engine's auto-forget of settled transactions
 	// (see engine.Config.ForgetAfter). Zero keeps them forever.
 	ForgetAfter time.Duration
+	// Shards is each site's engine event-loop count (see
+	// engine.Config.Shards). Zero uses the engine default (GOMAXPROCS).
+	Shards int
 	// ShardMap places keys for the keyed transaction API (BeginKeyed,
 	// GetK/PutK/DelK). Nil defaults to the deterministic default map over
 	// the cluster's sites.
@@ -218,6 +221,7 @@ func (c *Cluster) addNode(id int, priorLog wal.Log) error {
 		Protocol:    c.opts.Protocol,
 		Timeout:     c.opts.Timeout,
 		ForgetAfter: c.opts.ForgetAfter,
+		Shards:      c.opts.Shards,
 	}
 	if c.opts.Registry != nil {
 		cfg.Metrics = engine.NewMetrics(c.opts.Registry, c.opts.Protocol)

@@ -17,45 +17,48 @@ import (
 // own Resource.Prepare must succeed for the transaction to commit.
 func (s *Site) Begin(txid string, participants []int) error {
 	cohort := normalizeCohort(s.id, participants)
+	if len(cohort) > maxCohort {
+		return fmt.Errorf("engine: cohort of %d exceeds the %d-site limit", len(cohort), maxCohort)
+	}
 	meta := TxMeta{Coordinator: s.id, Participants: cohort}
 
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	sh := s.shardFor(txid)
+	sh.mu.Lock()
+	if s.stopped.Load() {
+		sh.mu.Unlock()
 		return ErrStopped
 	}
-	if _, ok := s.txns[txid]; ok {
-		s.mu.Unlock()
+	if _, ok := sh.txns[txid]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("engine: site %d already has transaction %s", s.id, txid)
 	}
-	t := s.tx(txid)
+	t := sh.tx(txid)
 	t.coordinator = true
 	t.meta = meta
-	t.votes = map[int]bool{}
-	t.acks = map[int]bool{}
 	if s.metrics != nil {
 		t.begunAt = s.clk.Now()
 	}
-	s.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: encodeMeta(meta)})
-	s.armTimer(t, s.protoTimeout())
+	// One encoding serves both the begin record and every VOTE-REQ body.
+	body := encodeMeta(meta)
+	sh.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: body})
+	sh.armTimer(t, sh.protoTimeout())
 
 	// First phase: distribute the transaction ("Start Xact" / VOTE-REQ).
-	// Still under s.mu so the sends defer behind the begin record's
+	// Still under sh.mu so the sends defer behind the begin record's
 	// durability: were a VOTE-REQ to outrun it and the coordinator to
 	// crash, the recovered coordinator would not even know the transaction
 	// it asked the cohort to vote on.
-	body := encodeMeta(meta)
 	for _, p := range cohort {
 		if p != s.id {
-			s.send(p, KindVoteReq, txid, body)
+			sh.send(p, KindVoteReq, txid, body)
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	// The coordinator's own vote, off the event loop so a slow local
 	// prepare doesn't stall message processing (inline in deterministic
 	// mode).
-	s.castVote(txid, true, false)
+	sh.castVote(txid, true, false)
 	return nil
 }
 
@@ -74,7 +77,7 @@ func normalizeCohort(self int, participants []int) []int {
 }
 
 // onVote handles YES/NO from a participant (coordinator role).
-func (s *Site) onVote(m transport.Message) {
+func (s *shard) onVote(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
@@ -86,15 +89,12 @@ func (s *Site) onVote(m transport.Message) {
 		s.decideAbort(t)
 		return
 	}
-	if t.votes == nil {
-		t.votes = map[int]bool{}
-	}
-	t.votes[m.From] = true
+	t.votes.add(t.cohortIdx(m.From))
 	s.maybeAllVotes(t)
 }
 
 // onOwnVote handles the coordinator's local prepare result.
-func (s *Site) onOwnVote(v *voteResult) {
+func (s *shard) onOwnVote(v voteResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[v.txid]
@@ -113,12 +113,12 @@ func (s *Site) onOwnVote(v *voteResult) {
 
 // maybeAllVotes advances when the coordinator holds a YES from every other
 // participant plus its own. Requires s.mu held.
-func (s *Site) maybeAllVotes(t *txState) {
+func (s *shard) maybeAllVotes(t *txState) {
 	if t.phase != phaseInit || !t.ownYes {
 		return
 	}
-	for _, p := range t.meta.Participants {
-		if p != s.id && !t.votes[p] {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.votes.has(i) {
 			return
 		}
 	}
@@ -143,17 +143,14 @@ func (s *Site) maybeAllVotes(t *txState) {
 }
 
 // onAck handles a participant's PREPARE acknowledgement. Requires 3PC.
-func (s *Site) onAck(m transport.Message) {
+func (s *shard) onAck(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
 	if !ok || !t.coordinator || t.phase != phasePrepared {
 		return
 	}
-	if t.acks == nil {
-		t.acks = map[int]bool{}
-	}
-	t.acks[m.From] = true
+	t.acks.add(t.cohortIdx(m.From))
 	s.maybeAllAcks(t)
 }
 
@@ -161,12 +158,12 @@ func (s *Site) onAck(m transport.Message) {
 // the prepare. Crashed participants are waived: they voted YES, so their
 // recovery protocol will learn the commit from the cohort. Requires s.mu
 // held.
-func (s *Site) maybeAllAcks(t *txState) {
+func (s *shard) maybeAllAcks(t *txState) {
 	if t.phase != phasePrepared || !t.coordinator {
 		return
 	}
-	for _, p := range t.meta.Participants {
-		if p != s.id && !t.acks[p] && s.det.Alive(p) {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.acks.has(i) && s.det.Alive(p) {
 			return
 		}
 	}
@@ -175,7 +172,7 @@ func (s *Site) maybeAllAcks(t *txState) {
 
 // decideCommit records and broadcasts the commit decision. Requires s.mu
 // held.
-func (s *Site) decideCommit(t *txState) {
+func (s *shard) decideCommit(t *txState) {
 	s.resolve(t, OutcomeCommitted)
 	for _, p := range t.meta.Participants {
 		if p != s.id {
@@ -185,7 +182,7 @@ func (s *Site) decideCommit(t *txState) {
 }
 
 // decideAbort records and broadcasts the abort decision. Requires s.mu held.
-func (s *Site) decideAbort(t *txState) {
+func (s *shard) decideAbort(t *txState) {
 	s.resolve(t, OutcomeAborted)
 	for _, p := range t.meta.Participants {
 		if p != s.id {
@@ -196,7 +193,7 @@ func (s *Site) decideAbort(t *txState) {
 
 // coordinatorTimeout fires when vote or ack collection stalls. Requires
 // s.mu held.
-func (s *Site) coordinatorTimeout(t *txState) {
+func (s *shard) coordinatorTimeout(t *txState) {
 	switch t.phase {
 	case phaseInit:
 		// Missing votes: abort. A crashed or partitioned participant is
@@ -209,8 +206,8 @@ func (s *Site) coordinatorTimeout(t *txState) {
 		if t.resolved() {
 			return
 		}
-		for _, p := range t.meta.Participants {
-			if p != s.id && !t.acks[p] && s.det.Alive(p) {
+		for i, p := range t.meta.Participants {
+			if p != s.id && !t.acks.has(i) && s.det.Alive(p) {
 				s.send(p, KindPrepare, t.id, nil)
 			}
 		}
@@ -220,23 +217,17 @@ func (s *Site) coordinatorTimeout(t *txState) {
 
 // coordinatorCrashCheck re-evaluates a coordinator transaction after a
 // participant crash. Requires s.mu held.
-func (s *Site) coordinatorCrashCheck(t *txState, crashed int) {
+func (s *shard) coordinatorCrashCheck(t *txState, crashed int) {
 	if t.resolved() {
 		return
 	}
-	inCohort := false
-	for _, p := range t.meta.Participants {
-		if p == crashed {
-			inCohort = true
-			break
-		}
-	}
-	if !inCohort {
+	idx := t.cohortIdx(crashed)
+	if idx < 0 {
 		return
 	}
 	switch t.phase {
 	case phaseInit:
-		if !t.votes[crashed] {
+		if !t.votes.has(idx) {
 			// The participant crashed before voting: it will abort on
 			// recovery (failure before the commit point), so the
 			// transaction must abort.

@@ -1,0 +1,207 @@
+package engine_test
+
+// Tests for the sharded event-driven core: configuration validation,
+// dropped-event accounting across shutdown, and a -race stress run driving
+// every shard concurrently.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nbcommit/internal/engine"
+	"nbcommit/internal/failure"
+	"nbcommit/internal/transport"
+	"nbcommit/internal/wal"
+)
+
+// Site IDs must be positive: ID 0 used to be unreportable in crash events
+// because the event struct discriminated on a zero-value sentinel.
+func TestNewRejectsNonPositiveID(t *testing.T) {
+	net := transport.NewNetwork()
+	det := failure.NewOracle(net)
+	for _, id := range []int{0, -1} {
+		_, err := engine.New(engine.Config{
+			ID:       id,
+			Endpoint: net.Endpoint(1),
+			Log:      wal.NewMemoryLog(),
+			Resource: newTestResource(),
+			Detector: det,
+			Protocol: engine.TwoPhase,
+		})
+		if err == nil {
+			t.Fatalf("New accepted site ID %d", id)
+		}
+	}
+}
+
+func TestBeginRejectsOversizedCohort(t *testing.T) {
+	c := newCluster(t, engine.TwoPhase, 1)
+	cohort := make([]int, 0, 70)
+	for i := 1; i <= 70; i++ {
+		cohort = append(cohort, i)
+	}
+	if err := c.sites[1].Begin("big", cohort); err == nil {
+		t.Fatal("Begin accepted a cohort larger than 64 sites")
+	}
+}
+
+// While a site is live, no event may be dropped — only shutdown sheds
+// events, and every shed event must be counted.
+func TestShutdownDropAccounting(t *testing.T) {
+	c := newCluster(t, engine.ThreePhase, 3)
+	for i := 0; i < 20; i++ {
+		txid := fmt.Sprintf("drop-%d", i)
+		if err := c.sites[1].Begin(txid, c.ids); err != nil {
+			t.Fatal(err)
+		}
+		if o, err := c.sites[1].WaitOutcome(txid, 2*time.Second); err != nil || o != engine.OutcomeCommitted {
+			t.Fatalf("%s: outcome %v err %v", txid, o, err)
+		}
+	}
+	for id, s := range c.sites {
+		if n := s.DroppedEvents(); n != 0 {
+			t.Fatalf("site %d dropped %d events while live", id, n)
+		}
+	}
+
+	// After Stop, late traffic is discarded — and accounted for.
+	s := c.sites[2]
+	s.Stop()
+	for i := 0; i < 5; i++ {
+		s.Deliver(transport.Message{From: 1, To: 2, Kind: engine.KindVoteReq, TxID: fmt.Sprintf("late-%d", i)})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.DroppedEvents() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.DroppedEvents(); n == 0 {
+		t.Fatal("no dropped events counted after Stop")
+	}
+}
+
+// TestShardedStress drives every shard of a multi-shard cluster from many
+// goroutines at once — concurrent Begins, waiters, duplicate deliveries and
+// crash reports — and is meant to run under -race.
+func TestShardedStress(t *testing.T) {
+	net := transport.NewNetwork()
+	det := failure.NewOracle(net)
+	const n = 3
+	sites := make(map[int]*engine.Site, n)
+	resources := map[int]*testResource{}
+	var ids []int
+	for i := 1; i <= n; i++ {
+		ids = append(ids, i)
+		resources[i] = newTestResource()
+		s, err := engine.New(engine.Config{
+			ID:          i,
+			Endpoint:    net.Endpoint(i),
+			Log:         wal.NewMemoryLog(),
+			Resource:    resources[i],
+			Detector:    det,
+			Protocol:    engine.ThreePhase,
+			Timeout:     100 * time.Millisecond,
+			ForgetAfter: 50 * time.Millisecond,
+			Shards:      4, // force multiple shards even on one core
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		s.Start()
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Stop()
+		}
+	}()
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			coord := sites[w%n+1]
+			for i := 0; i < perWorker; i++ {
+				txid := fmt.Sprintf("stress-%d-%d", w, i)
+				if err := coord.Begin(txid, ids); err != nil {
+					errs <- fmt.Errorf("%s: %w", txid, err)
+					return
+				}
+				o, err := coord.WaitOutcome(txid, 5*time.Second)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", txid, err)
+					return
+				}
+				if o != engine.OutcomeCommitted {
+					errs <- fmt.Errorf("%s: outcome %v", txid, o)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for id, s := range sites {
+		if n := s.DroppedEvents(); n != 0 {
+			t.Fatalf("site %d dropped %d events while live", id, n)
+		}
+	}
+}
+
+// BenchmarkEngineCommitAllocs measures allocations per full three-site
+// commit (Begin through decision at the coordinator) over an in-memory
+// network and WAL — the engine twin of the internal/remote codec alloc
+// benchmarks. Guarded by the bench smoke's allocs/op threshold.
+func BenchmarkEngineCommitAllocs(b *testing.B) {
+	for _, kind := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		b.Run(kind.String(), func(b *testing.B) {
+			net := transport.NewNetwork()
+			det := failure.NewOracle(net)
+			const n = 3
+			sites := make(map[int]*engine.Site, n)
+			var ids []int
+			for i := 1; i <= n; i++ {
+				ids = append(ids, i)
+				s, err := engine.New(engine.Config{
+					ID:          i,
+					Endpoint:    net.Endpoint(i),
+					Log:         wal.NewMemoryLog(),
+					Resource:    newTestResource(),
+					Detector:    det,
+					Protocol:    kind,
+					Timeout:     time.Second,
+					ForgetAfter: 10 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sites[i] = s
+				s.Start()
+			}
+			defer func() {
+				for _, s := range sites {
+					s.Stop()
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txid := fmt.Sprintf("bench-%d", i)
+				if err := sites[1].Begin(txid, ids); err != nil {
+					b.Fatal(err)
+				}
+				if o, err := sites[1].WaitOutcome(txid, 5*time.Second); err != nil || o != engine.OutcomeCommitted {
+					b.Fatalf("%s: outcome %v err %v", txid, o, err)
+				}
+			}
+		})
+	}
+}

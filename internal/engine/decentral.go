@@ -23,32 +23,36 @@ const (
 // termination protocol at the survivors.
 func (s *Site) BeginPeer(txid string, participants []int) error {
 	cohort := normalizeCohort(s.id, participants)
+	if len(cohort) > maxCohort {
+		return fmt.Errorf("engine: cohort of %d exceeds the %d-site limit", len(cohort), maxCohort)
+	}
 	meta := TxMeta{Coordinator: 0, Participants: cohort}
 
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	sh := s.shardFor(txid)
+	sh.mu.Lock()
+	if s.stopped.Load() {
+		sh.mu.Unlock()
 		return ErrStopped
 	}
-	if _, ok := s.txns[txid]; ok {
-		s.mu.Unlock()
+	if _, ok := sh.txns[txid]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("engine: site %d already has transaction %s", s.id, txid)
 	}
 	body := encodeMeta(meta)
 	for _, p := range cohort {
 		if p != s.id {
-			s.send(p, KindDXact, txid, body)
+			sh.send(p, KindDXact, txid, body)
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Deliver our own copy directly.
-	s.onDXact(transport.Message{From: s.id, To: s.id, Kind: KindDXact, TxID: txid, Body: body})
+	sh.onDXact(transport.Message{From: s.id, To: s.id, Kind: KindDXact, TxID: txid, Body: body})
 	return nil
 }
 
 // onDXact receives the transaction at a peer and casts the local vote.
-func (s *Site) onDXact(m transport.Message) {
+func (s *shard) onDXact(m transport.Message) {
 	meta, err := decodeMeta(m.Body)
 	if err != nil {
 		return
@@ -71,7 +75,7 @@ func (s *Site) onDXact(m transport.Message) {
 }
 
 // onPeerVoteResult completes the peer's local vote and broadcasts it.
-func (s *Site) onPeerVoteResult(v *voteResult) {
+func (s *shard) onPeerVoteResult(v voteResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[v.txid]
@@ -106,7 +110,7 @@ func (s *Site) onPeerVoteResult(v *voteResult) {
 // onDVote records a peer's vote. A site that has already resolved the
 // transaction (e.g. it voted NO and aborted, and its NO was lost) answers a
 // retransmitted vote with the outcome instead.
-func (s *Site) onDVote(m transport.Message) {
+func (s *shard) onDVote(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
@@ -143,7 +147,7 @@ func (s *Site) onDVote(m transport.Message) {
 // from a crashed peer is NOT waived — its vote may have reached other sites
 // that already advanced, so only the termination protocol may resolve the
 // gap. Requires s.mu held.
-func (s *Site) maybePeerVotesDone(t *txState) {
+func (s *shard) maybePeerVotesDone(t *txState) {
 	if t.phase != phaseWait || !t.peer {
 		return
 	}
@@ -183,7 +187,7 @@ func (s *Site) maybePeerVotesDone(t *txState) {
 
 // onDPrepare records a peer's prepare broadcast, answering with the outcome
 // when already resolved.
-func (s *Site) onDPrepare(m transport.Message) {
+func (s *shard) onDPrepare(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
@@ -210,7 +214,7 @@ func (s *Site) onDPrepare(m transport.Message) {
 
 // maybePeerPreparesDone commits once every peer has prepared. Requires s.mu
 // held.
-func (s *Site) maybePeerPreparesDone(t *txState) {
+func (s *shard) maybePeerPreparesDone(t *txState) {
 	if t.phase != phasePrepared || !t.peer {
 		return
 	}
@@ -225,7 +229,7 @@ func (s *Site) maybePeerPreparesDone(t *txState) {
 // peerTimeout drives a stuck decentralized transaction: retransmit to
 // laggards while the whole cohort is operational, run the termination
 // protocol once somebody has crashed. Requires s.mu held.
-func (s *Site) peerTimeout(t *txState) {
+func (s *shard) peerTimeout(t *txState) {
 	if t.resolved() || (t.phase != phaseWait && t.phase != phasePrepared) {
 		return
 	}

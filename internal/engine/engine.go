@@ -1,4 +1,4 @@
-// Package engine executes commit protocols at real sites: goroutine-driven
+// Package engine executes commit protocols at real sites: event-driven
 // coordinators and participants exchanging messages over a transport,
 // forcing protocol state to a write-ahead log, detecting site failures, and
 // running the paper's termination protocol (backup-coordinator election plus
@@ -10,12 +10,21 @@
 // state "prepared"). The local states a site moves through are exactly the
 // canonical q → w → (p) → c / a of the paper's FSAs; the wal records are
 // their durable images.
+//
+// A site's runtime is a set of shards, each an independent event loop owning
+// a txid-hash partition of the transaction table: messages, timer fires,
+// vote results and durability notifications for a transaction all serialize
+// onto its shard, so per-transaction state needs no cross-shard
+// coordination. Timers multiplex onto one hierarchical timer wheel per site
+// (clock.Wheel), with a generation token per arm so a stale fire that was
+// already in flight when the timer was re-armed is rejected.
 package engine
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,6 +87,11 @@ var ErrBlocked = errors.New("engine: transaction blocked awaiting coordinator re
 
 // ErrStopped is returned when the site has been stopped or crashed.
 var ErrStopped = errors.New("engine: site is stopped")
+
+// maxCohort bounds the commit cohort so per-transaction vote/ack/DEC-ACK
+// collection fits in one word (cohortSet). Sixty-four sites in a single
+// commit cohort is far beyond any deployment this engine targets.
+const maxCohort = 64
 
 // Resource is the local resource manager whose changes the protocol makes
 // atomic. Prepare is the participant's vote: returning an error votes NO.
@@ -142,7 +156,7 @@ func readMeta(p []byte) (TxMeta, int, error) {
 	}
 	off := n
 	cnt, n := binary.Uvarint(p[off:])
-	if n <= 0 || cnt > uint64(len(p)) {
+	if n <= 0 || cnt > uint64(len(p)) || cnt > maxCohort {
 		return TxMeta{}, 0, errBadMeta
 	}
 	off += n
@@ -199,6 +213,19 @@ func (p phase) String() string {
 	}
 }
 
+// cohortSet is a bitset over cohort positions (indexes into
+// TxMeta.Participants): the zero-allocation replacement for the per-site
+// vote/ack/DEC-ACK maps on the commit hot path.
+type cohortSet uint64
+
+func (c cohortSet) has(i int) bool { return i >= 0 && c&(1<<uint(i)) != 0 }
+
+func (c *cohortSet) add(i int) {
+	if i >= 0 {
+		*c |= 1 << uint(i)
+	}
+}
+
 // txState is a site's view of one transaction.
 type txState struct {
 	id    string
@@ -207,15 +234,15 @@ type txState struct {
 	redo  []byte
 
 	coordinator bool
-	votes       map[int]bool // coordinator: YES votes received
-	acks        map[int]bool // coordinator: ACKs received
-	decAcks     map[int]bool // coordinator: DEC-ACKs received (auto-forget)
-	ownYes      bool         // coordinator: local prepare succeeded
-	noVote      bool         // coordinator: some participant voted NO
+	votes       cohortSet // coordinator: YES votes received
+	acks        cohortSet // coordinator: ACKs received
+	decAcks     cohortSet // coordinator: DEC-ACKs received (auto-forget)
+	ownYes      bool      // coordinator: local prepare succeeded
+	noVote      bool      // coordinator: some participant voted NO
 
-	termAcks   map[int]bool // backup coordinator: phase-1 acks
-	termActive bool         // backup coordinator: termination underway
-	termPhase  phase        // backup coordinator: state broadcast in phase 1
+	termAcks   cohortSet // backup coordinator: phase-1 acks
+	termActive bool      // backup coordinator: termination underway
+	termPhase  phase     // backup coordinator: state broadcast in phase 1
 	// fenced is set once this site is under a backup coordinator's control
 	// (it acked a TERM-STATE sync, or is the backup itself). From then on
 	// only the termination protocol may move the transaction: late
@@ -234,7 +261,13 @@ type txState struct {
 	dvotes     map[int]byte // decentralized: vote round ('y'/'n' per site)
 	dprepares  map[int]bool // decentralized 3PC: prepare round
 
-	timer clock.Timer // participant decision / coordinator collection timer
+	// timer is the transaction's single protocol/GC timer, an entry in the
+	// site's timer wheel; gen is its arm generation. Every (re-)arm and
+	// cancel bumps gen, and a timeout event carrying a stale generation is
+	// ignored: a fire already collected by the wheel when the transaction
+	// changed phase can never drive the re-armed transaction.
+	timer clock.WheelTimer
+	gen   uint64
 	done  chan struct{}
 
 	// Metrics timestamps (zero unless Config.Metrics is set and this site
@@ -248,6 +281,17 @@ type txState struct {
 
 func (t *txState) resolved() bool {
 	return t.phase == phaseCommitted || t.phase == phaseAborted
+}
+
+// cohortIdx maps a site ID to its position in the cohort, or -1. The cohort
+// is small and sorted; a linear scan beats a map here.
+func (t *txState) cohortIdx(site int) int {
+	for i, p := range t.meta.Participants {
+		if p == site {
+			return i
+		}
+	}
+	return -1
 }
 
 // Config assembles a site's dependencies.
@@ -279,12 +323,17 @@ type Config struct {
 	// called. Decentralized (peer) transactions have no acknowledgement
 	// collection point and are never auto-forgotten.
 	ForgetAfter time.Duration
+	// Shards is the number of event-loop workers, each owning a txid-hash
+	// partition of the transaction table (rounded up to a power of two).
+	// Zero means GOMAXPROCS — or one in deterministic mode, where shards
+	// share the injector's goroutine anyway.
+	Shards int
 	// Clock supplies time to every protocol path (timers, deadlines). Nil
 	// means the wall clock; deterministic simulation (internal/dst) injects
 	// a virtual clock so timeouts fire only when the simulation advances it.
 	Clock clock.Clock
 	// Deterministic disables the engine's internal concurrency for
-	// simulation testing: no event-loop goroutine is started,
+	// simulation testing: no event-loop goroutines are started,
 	// Resource.Prepare runs inline, and every message, timer callback and
 	// crash report is processed synchronously on the goroutine that injects
 	// it. The simulation driver feeds messages in via Site.Deliver and must
@@ -294,7 +343,7 @@ type Config struct {
 	// Unhandled, when set, receives every message whose kind the engine
 	// does not recognize — heartbeats, application data-plane traffic, and
 	// anything else multiplexed onto the site's endpoint. Called on the
-	// site's event loop; keep it fast.
+	// owning shard's event loop; keep it fast.
 	Unhandled func(transport.Message)
 	// Trace, when set, records the site's protocol events (votes, state
 	// transitions, termination and recovery milestones). Production nodes
@@ -309,8 +358,39 @@ type Config struct {
 }
 
 // Site executes commit protocols for one node. Create with New, start with
-// Start, and stop with Stop (graceful) or Crash (fault injection).
+// Start, and stop with Stop (graceful) or Crash (fault injection). Protocol
+// state lives in the site's shards; the Site itself holds only what is
+// shared across them.
 type Site struct {
+	id        int
+	ep        transport.Endpoint
+	det       failure.Detector
+	clk       clock.Clock
+	kind      ProtocolKind
+	timeoutNs atomic.Int64 // protocol timeout; read via protoTimeout
+	forget    time.Duration
+	determin  bool
+	metrics   *Metrics
+
+	shards    []*shard
+	shardMask uint32
+	wheel     *clock.Wheel // all shards' transaction timers, one per site
+
+	live    atomic.Bool   // Start has run; staged logging may be used
+	stopped atomic.Bool   // Stop has run; new events are dropped
+	dropped atomic.Uint64 // events discarded after Stop (observability)
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// shard owns one txid-hash partition of a site's transaction table and the
+// event loop that serializes all activity on it. The site's dependencies
+// are duplicated onto every shard so handlers never indirect through the
+// Site on the hot path.
+type shard struct {
+	site *Site
+
 	id          int
 	ep          transport.Endpoint
 	log         wal.Log
@@ -318,7 +398,6 @@ type Site struct {
 	res         Resource
 	det         failure.Detector
 	kind        ProtocolKind
-	timeoutNs   atomic.Int64 // protocol timeout; read via protoTimeout
 	forgetAfter time.Duration
 	clk         clock.Clock
 	determin    bool
@@ -330,21 +409,48 @@ type Site struct {
 	txns     map[string]*txState
 	pending  []*actGroup // actions deferred behind staged WAL records (FIFO)
 	arrivals map[string]*arrival
-	live     bool // Start has run; staged logging may be used
-	stopped  bool
 
 	events chan event
-	quit   chan struct{}
-	wg     sync.WaitGroup
+	// recv, set only on single-shard sites, lets the one event loop select
+	// on the endpoint directly instead of paying a demux hop per message.
+	recv <-chan transport.Message
+
+	groups  []*actGroup // recycled actGroups, capped
+	release []*actGroup // onDurable scratch (event-loop-owned)
 }
 
-// event is an internal occurrence handled on the site's single event loop.
+// evKind tags an event with what it carries; the explicit discriminant is
+// what lets every payload — including site ID 0 in a crash report — be a
+// legal value.
+type evKind uint8
+
+const (
+	evMsg     evKind = iota + 1 // a protocol message arrived
+	evTimeout                   // a transaction's wheel timer fired
+	evCrash                     // the detector reported a site crash
+	evVote                      // a Resource.Prepare finished
+	evDurable                   // a staged WAL record's batch became durable
+)
+
+// event is an internal occurrence handled on a shard's event loop. It is a
+// value type: events move through channels and handlers by copy, so the hot
+// path never allocates one.
 type event struct {
-	msg     *transport.Message
-	timeout string // txid whose timer fired
-	crashed int    // site reported crashed by the detector
-	vote    *voteResult
-	durable *actGroup // a staged WAL record's batch became durable
+	kind    evKind
+	msg     transport.Message // evMsg
+	txid    string            // evTimeout
+	gen     uint64            // evTimeout: arm generation of the fire
+	site    int               // evCrash
+	vote    voteResult        // evVote
+	durable *actGroup         // evDurable
+}
+
+// action is one externally visible effect deferred behind WAL durability:
+// either a message send (the overwhelmingly common case, stored flat so no
+// closure is allocated per send) or an arbitrary function.
+type action struct {
+	msg transport.Message
+	fn  func()
 }
 
 // actGroup collects the externally visible actions deferred behind one
@@ -355,7 +461,7 @@ type event struct {
 // without ever acting on a state change that could still be lost — the
 // paper's force-before-act discipline, enforced at batch granularity.
 type actGroup struct {
-	acts    []func()
+	acts    []action
 	durable bool
 	err     error
 }
@@ -413,6 +519,9 @@ func New(cfg Config) (*Site, error) {
 	if cfg.Endpoint == nil || cfg.Log == nil || cfg.Resource == nil || cfg.Detector == nil {
 		return nil, errors.New("engine: Endpoint, Log, Resource and Detector are required")
 	}
+	if cfg.ID <= 0 {
+		return nil, fmt.Errorf("engine: site ID must be positive, got %d", cfg.ID)
+	}
 	to := cfg.Timeout
 	if to == 0 {
 		to = 200 * time.Millisecond
@@ -421,43 +530,101 @@ func New(cfg Config) (*Site, error) {
 	if clk == nil {
 		clk = clock.Wall
 	}
-	s := &Site{
-		id:          cfg.ID,
-		ep:          cfg.Endpoint,
-		log:         cfg.Log,
-		res:         cfg.Resource,
-		det:         cfg.Detector,
-		kind:        cfg.Protocol,
-		forgetAfter: cfg.ForgetAfter,
-		clk:         clk,
-		determin:    cfg.Deterministic,
-		unhandled:   cfg.Unhandled,
-		trace:       cfg.Trace,
-		metrics:     cfg.Metrics,
-		txns:        map[string]*txState{},
-		arrivals:    map[string]*arrival{},
-		events:      make(chan event, 1024),
-		quit:        make(chan struct{}),
+	n := cfg.Shards
+	if n <= 0 {
+		if cfg.Deterministic {
+			n = 1
+		} else {
+			n = runtime.GOMAXPROCS(0)
+		}
 	}
+	n = ceilPow2(n)
+	s := &Site{
+		id:        cfg.ID,
+		ep:        cfg.Endpoint,
+		det:       cfg.Detector,
+		clk:       clk,
+		kind:      cfg.Protocol,
+		forget:    cfg.ForgetAfter,
+		determin:  cfg.Deterministic,
+		metrics:   cfg.Metrics,
+		shardMask: uint32(n - 1),
+		quit:      make(chan struct{}),
+	}
+	s.timeoutNs.Store(int64(to))
+	// The wheel's tick only sets bucketing granularity (fires are exact):
+	// a fraction of the protocol timeout keeps cascades rare.
+	tick := to / 16
+	if tick > 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	s.wheel = clock.NewWheel(clk, tick, s.onTimerFire)
 	// Group commit needs real concurrency: the deterministic simulator
 	// processes everything on one goroutine and must observe each append
 	// synchronously, so staging is only used outside deterministic mode.
+	var slog wal.StagedLog
 	if sl, ok := cfg.Log.(wal.StagedLog); ok && !cfg.Deterministic {
-		s.slog = sl
+		slog = sl
 	}
-	s.timeoutNs.Store(int64(to))
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			site:        s,
+			id:          cfg.ID,
+			ep:          cfg.Endpoint,
+			log:         cfg.Log,
+			slog:        slog,
+			res:         cfg.Resource,
+			det:         cfg.Detector,
+			kind:        cfg.Protocol,
+			forgetAfter: cfg.ForgetAfter,
+			clk:         clk,
+			determin:    cfg.Deterministic,
+			unhandled:   cfg.Unhandled,
+			trace:       cfg.Trace,
+			metrics:     cfg.Metrics,
+			txns:        map[string]*txState{},
+			arrivals:    map[string]*arrival{},
+			events:      make(chan event, 1024),
+		}
+	}
+	if n == 1 && !cfg.Deterministic {
+		s.shards[0].recv = cfg.Endpoint.Recv()
+	}
 	if s.metrics != nil {
 		s.metrics.registerSiteGauges(s)
 	}
 	return s, nil
 }
 
+// ceilPow2 rounds n up to the next power of two (for the shard mask).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // ID returns the site's identifier.
 func (s *Site) ID() int { return s.id }
 
+// shardFor routes a transaction ID to its owning shard (FNV-1a).
+func (s *Site) shardFor(txid string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(txid); i++ {
+		h ^= uint32(txid[i])
+		h *= 16777619
+	}
+	return s.shards[h&s.shardMask]
+}
+
 // protoTimeout returns the current protocol timeout.
-func (s *Site) protoTimeout() time.Duration {
-	return time.Duration(s.timeoutNs.Load())
+func (s *shard) protoTimeout() time.Duration {
+	return time.Duration(s.site.timeoutNs.Load())
 }
 
 // SetTimeout changes the protocol timeout used for every timer armed from
@@ -471,40 +638,97 @@ func (s *Site) SetTimeout(d time.Duration) {
 	s.timeoutNs.Store(int64(d))
 }
 
-// Start launches the event loop and subscribes to crash reports. In
-// deterministic mode no goroutine is started: events are processed
+// DroppedEvents reports how many events were discarded because the site had
+// stopped — the count behind the engine_events_dropped_total metric. While
+// the site is live the count never moves: shutdown is the only path that
+// sheds events.
+func (s *Site) DroppedEvents() uint64 { return s.dropped.Load() }
+
+// Start launches the shard event loops and subscribes to crash reports. In
+// deterministic mode no goroutines are started: events are processed
 // synchronously as the simulation driver injects them.
 func (s *Site) Start() {
-	s.mu.Lock()
-	s.live = true
-	s.mu.Unlock()
-	s.det.Watch(func(site int) {
-		s.dispatch(event{crashed: site})
-	})
+	s.live.Store(true)
+	s.det.Watch(s.onCrashReport)
 	if s.determin {
 		return
 	}
-	s.wg.Add(1)
-	go s.loop()
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	if len(s.shards) > 1 {
+		s.wg.Add(1)
+		go s.recvLoop()
+	}
 }
 
-// dispatch routes an event to the site's event loop — or, in deterministic
+// onCrashReport reacts to a failure report from the detector. In
+// deterministic mode the whole site handles it synchronously, visiting
+// transactions in globally sorted ID order — the shard-count-invariant
+// order the simulation's reproducibility (and its traces) depend on. In
+// concurrent mode every shard is told and scans its own partition.
+func (s *Site) onCrashReport(site int) {
+	if s.determin {
+		if s.stopped.Load() {
+			s.dropped.Add(1)
+			return
+		}
+		s.handleCrashAll(site)
+		return
+	}
+	for _, sh := range s.shards {
+		sh.enqueue(event{kind: evCrash, site: site})
+	}
+}
+
+// handleCrashAll applies a crash report to every transaction of every shard
+// in one globally sorted pass (deterministic mode only).
+func (s *Site) handleCrashAll(site int) {
+	var ids []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id := range sh.txns {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		if t, ok := sh.txns[id]; ok {
+			sh.crashCheckTx(t, site)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// onTimerFire is the site wheel's expiry callback: route the timeout to the
+// transaction's shard, generation token attached.
+func (s *Site) onTimerFire(txid string, gen uint64) {
+	s.shardFor(txid).enqueue(event{kind: evTimeout, txid: txid, gen: gen})
+}
+
+// enqueue routes an event to the shard's event loop — or, in deterministic
 // mode, processes it synchronously on the caller's goroutine (protocol state
 // is mutex-protected, and the single-threaded simulation driver is the only
-// injector, so handlers never run concurrently).
-func (s *Site) dispatch(ev event) {
+// injector, so handlers never run concurrently). Once the site has stopped,
+// events are dropped and counted: losing one while the site is live would be
+// a protocol bug, so the loss is never silent.
+func (s *shard) enqueue(ev event) {
 	if s.determin {
-		s.mu.Lock()
-		stopped := s.stopped
-		s.mu.Unlock()
-		if !stopped {
-			s.handleEvent(ev)
+		if s.site.stopped.Load() {
+			s.site.dropped.Add(1)
+			return
 		}
+		s.handleEvent(ev)
 		return
 	}
 	select {
 	case s.events <- ev:
-	case <-s.quit:
+	case <-s.site.quit:
+		s.site.dropped.Add(1)
 	}
 }
 
@@ -513,74 +737,117 @@ func (s *Site) dispatch(ev event) {
 // (Config.Deterministic); sites wired to a live transport receive messages
 // through their endpoint instead.
 func (s *Site) Deliver(m transport.Message) {
-	s.dispatch(event{msg: &m})
+	s.shardFor(m.TxID).enqueue(event{kind: evMsg, msg: m})
 }
 
 // castVote runs Resource.Prepare and feeds the result back as an event —
 // asynchronously in normal operation (Prepare may wait on locks and must not
 // stall the event loop), inline in deterministic mode.
-func (s *Site) castVote(txid string, own, peer bool) {
-	run := func() {
-		redo, err := s.res.Prepare(txid)
-		s.dispatch(event{vote: &voteResult{txid: txid, redo: redo, err: err, own: own, peer: peer}})
-	}
+func (s *shard) castVote(txid string, own, peer bool) {
 	if s.determin {
-		run()
+		s.castVoteNow(txid, own, peer)
 		return
 	}
-	go run()
+	go s.castVoteNow(txid, own, peer)
+}
+
+func (s *shard) castVoteNow(txid string, own, peer bool) {
+	redo, err := s.res.Prepare(txid)
+	s.enqueue(event{kind: evVote, vote: voteResult{txid: txid, redo: redo, err: err, own: own, peer: peer}})
 }
 
 // Stop shuts the site down gracefully. In-flight transactions stay
-// unresolved locally.
+// unresolved locally; events still queued when the loops exit are counted
+// as dropped.
 func (s *Site) Stop() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	if !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	s.stopped = true
-	for _, t := range s.txns {
-		if t.timer != nil {
-			t.timer.Stop()
-		}
-	}
-	s.mu.Unlock()
+	s.wheel.Stop()
 	close(s.quit)
 	s.wg.Wait()
+	for _, sh := range s.shards {
+		for {
+			select {
+			case <-sh.events:
+				s.dropped.Add(1)
+				continue
+			default:
+			}
+			break
+		}
+	}
 }
 
-// loop is the site's single event loop; all protocol state changes happen
-// here.
-func (s *Site) loop() {
+// recvLoop demultiplexes the endpoint onto the shards (multi-shard sites
+// only; a single-shard site's loop reads the endpoint directly).
+func (s *Site) recvLoop() {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.quit:
 			return
-		case ev := <-s.events:
-			s.handleEvent(ev)
 		case m, ok := <-s.ep.Recv():
 			if !ok {
 				// Endpoint closed under us: the site crashed.
 				return
 			}
-			s.handleEvent(event{msg: &m})
+			s.shardFor(m.TxID).enqueue(event{kind: evMsg, msg: m})
 		}
 	}
 }
 
-func (s *Site) handleEvent(ev event) {
-	switch {
-	case ev.msg != nil:
-		s.handleMessage(*ev.msg)
-	case ev.timeout != "":
-		s.handleTimeout(ev.timeout)
-	case ev.crashed != 0:
-		s.handleCrash(ev.crashed)
-	case ev.durable != nil:
+// loop is a shard's event loop; all state changes of the shard's
+// transactions happen here. Events are dequeued in batches: once the loop
+// wakes it drains whatever else is already queued before going back to
+// sleep, amortizing the channel synchronization.
+func (sh *shard) loop() {
+	defer sh.site.wg.Done()
+	var batch [64]event
+	for {
+		var ev event
+		select {
+		case <-sh.site.quit:
+			return
+		case ev = <-sh.events:
+		case m, ok := <-sh.recv:
+			if !ok {
+				// Endpoint closed under us: the site crashed.
+				return
+			}
+			ev = event{kind: evMsg, msg: m}
+		}
+		n := 0
+		batch[n] = ev
+		n++
+		for n < len(batch) {
+			select {
+			case ev := <-sh.events:
+				batch[n] = ev
+				n++
+				continue
+			default:
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			sh.handleEvent(batch[i])
+			batch[i] = event{} // drop payload references until the next use
+		}
+	}
+}
+
+func (s *shard) handleEvent(ev event) {
+	switch ev.kind {
+	case evMsg:
+		s.handleMessage(ev.msg)
+	case evTimeout:
+		s.handleTimeout(ev.txid, ev.gen)
+	case evCrash:
+		s.handleCrash(ev.site)
+	case evDurable:
 		s.onDurable(ev.durable)
-	case ev.vote != nil:
+	case evVote:
 		switch {
 		case ev.vote.own:
 			s.onOwnVote(ev.vote)
@@ -593,7 +860,7 @@ func (s *Site) handleEvent(ev event) {
 }
 
 // handleMessage dispatches a protocol message by kind.
-func (s *Site) handleMessage(m transport.Message) {
+func (s *shard) handleMessage(m transport.Message) {
 	switch m.Kind {
 	case KindVoteReq:
 		s.onVoteReq(m)
@@ -639,19 +906,24 @@ func (s *Site) handleMessage(m transport.Message) {
 // staged WAL record is awaiting durability the message is deferred behind
 // it: what we say to other sites must never outrun what we have forced to
 // stable storage. Requires s.mu held.
-func (s *Site) send(to int, kind, txid string, body []byte) {
+func (s *shard) send(to int, kind, txid string, body []byte) {
 	m := transport.Message{To: to, Kind: kind, TxID: txid, Body: body}
-	s.act(func() { _ = s.ep.Send(m) })
+	if n := len(s.pending); n > 0 {
+		g := s.pending[n-1]
+		g.acts = append(g.acts, action{msg: m})
+		return
+	}
+	_ = s.ep.Send(m)
 }
 
 // act runs fn now when nothing is pending durability, and otherwise
 // attaches it to the newest staged WAL record so it runs — on the event
 // loop, in order — once that record's batch is durable. fn must not take
 // s.mu. Requires s.mu held.
-func (s *Site) act(fn func()) {
+func (s *shard) act(fn func()) {
 	if n := len(s.pending); n > 0 {
 		g := s.pending[n-1]
-		g.acts = append(g.acts, fn)
+		g.acts = append(g.acts, action{fn: fn})
 		return
 	}
 	fn()
@@ -659,29 +931,57 @@ func (s *Site) act(fn func()) {
 
 // onDurable runs on the event loop when a staged record's batch became
 // durable; it releases the deferred actions of every group up to the
-// newest durable one, preserving FIFO order.
-func (s *Site) onDurable(g *actGroup) {
+// newest durable one, preserving FIFO order, and recycles the spent groups.
+func (s *shard) onDurable(g *actGroup) {
 	if g.err != nil {
 		panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, g.err))
 	}
 	s.mu.Lock()
 	g.durable = true
-	var run []func()
+	run := s.release[:0]
 	for len(s.pending) > 0 && s.pending[0].durable {
-		run = append(run, s.pending[0].acts...)
+		run = append(run, s.pending[0])
 		s.pending = s.pending[1:]
 	}
 	if len(s.pending) == 0 {
 		s.pending = nil
 	}
 	s.mu.Unlock()
-	for _, fn := range run {
-		fn()
+	for _, g := range run {
+		for _, a := range g.acts {
+			if a.fn != nil {
+				a.fn()
+			} else {
+				_ = s.ep.Send(a.msg)
+			}
+		}
 	}
+	s.mu.Lock()
+	for i, g := range run {
+		if len(s.groups) < 64 {
+			g.acts = g.acts[:0]
+			g.durable = false
+			s.groups = append(s.groups, g)
+		}
+		run[i] = nil
+	}
+	s.release = run[:0]
+	s.mu.Unlock()
+}
+
+// newGroup takes an actGroup from the shard's freelist (or allocates one).
+// Requires s.mu held.
+func (s *shard) newGroup() *actGroup {
+	if n := len(s.groups); n > 0 {
+		g := s.groups[n-1]
+		s.groups = s.groups[:n-1]
+		return g
+	}
+	return &actGroup{}
 }
 
 // record emits a trace event if tracing is enabled.
-func (s *Site) record(kind, txid, note string) {
+func (s *shard) record(kind, txid, note string) {
 	if s.trace != nil {
 		s.trace.Add(s.id, kind, txid, note)
 	}
@@ -698,9 +998,9 @@ func (s *Site) record(kind, txid, note string) {
 // staging further records into the same batch — while the fsync runs.
 // Before Start (recovery) and in deterministic mode the append is
 // synchronous. Requires s.mu held.
-func (s *Site) mustLog(rec wal.Record) {
-	if s.slog != nil && s.live {
-		g := &actGroup{}
+func (s *shard) mustLog(rec wal.Record) {
+	if s.slog != nil && s.site.live.Load() {
+		g := s.newGroup()
 		s.pending = append(s.pending, g)
 		var stagedAt time.Time
 		if s.metrics != nil {
@@ -711,7 +1011,7 @@ func (s *Site) mustLog(rec wal.Record) {
 				s.metrics.forceWait.Observe(s.clk.Now().Sub(stagedAt))
 			}
 			g.err = err
-			s.dispatch(event{durable: g})
+			s.enqueue(event{kind: evDurable, durable: g})
 		})
 		return
 	}
@@ -727,24 +1027,31 @@ func (s *Site) mustLog(rec wal.Record) {
 	}
 }
 
-// armTimer (re)starts the transaction's protocol timer.
-func (s *Site) armTimer(t *txState, d time.Duration) {
-	if t.timer != nil {
-		t.timer.Stop()
-	}
-	txid := t.id
-	t.timer = s.clk.AfterFunc(d, func() {
-		s.dispatch(event{timeout: txid})
-	})
+// armTimer (re)starts the transaction's protocol timer. The new arm's
+// generation invalidates any timeout event from a previous arm that is
+// still in flight. Requires s.mu held.
+func (s *shard) armTimer(t *txState, d time.Duration) {
+	t.timer.Stop()
+	t.gen++
+	t.timer = s.site.wheel.Schedule(d, t.id, t.gen)
+}
+
+// stopTimer cancels the transaction's timer and invalidates in-flight
+// fires. Requires s.mu held.
+func (s *shard) stopTimer(t *txState) {
+	t.timer.Stop()
+	t.timer = clock.WheelTimer{}
+	t.gen++
 }
 
 // Outcome reports the site's local resolution of a transaction.
 // ErrBlocked is returned while a 2PC participant sits in the uncertainty
 // window with no way to decide.
 func (s *Site) Outcome(txid string) (Outcome, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.txns[txid]
+	sh := s.shardFor(txid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.txns[txid]
 	if !ok {
 		return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
 	}
@@ -770,21 +1077,28 @@ func (s *Site) Outcome(txid string) (Outcome, error) {
 // stays correct even if the site auto-forgets the transaction the moment
 // it settles.
 func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) {
-	deadline := s.clk.After(timeout)
+	// An AfterFunc stopped on return, not clk.After: a timer channel would
+	// stay live in the runtime for the full timeout — under load, tens of
+	// thousands of them — long after the typical call returns in
+	// milliseconds.
+	timedOut := make(chan struct{})
+	tm := s.clk.AfterFunc(timeout, func() { close(timedOut) })
+	defer tm.Stop()
+	sh := s.shardFor(txid)
 	for {
-		s.mu.Lock()
-		t, ok := s.txns[txid]
+		sh.mu.Lock()
+		t, ok := sh.txns[txid]
 		if ok {
 			done := t.done
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			select {
 			case <-done:
-			case <-deadline:
+			case <-timedOut:
 			case <-s.quit:
 				return OutcomePending, ErrStopped
 			}
-			s.mu.Lock()
-			defer s.mu.Unlock()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
 			switch t.phase {
 			case phaseCommitted:
 				return OutcomeCommitted, nil
@@ -797,21 +1111,21 @@ func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) 
 				return OutcomePending, nil
 			}
 		}
-		a := s.arrivals[txid]
+		a := sh.arrivals[txid]
 		if a == nil {
 			a = &arrival{ch: make(chan struct{})}
-			s.arrivals[txid] = a
+			sh.arrivals[txid] = a
 		}
 		a.refs++
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		select {
 		case <-a.ch:
-			s.releaseArrival(txid, a)
-		case <-deadline:
-			s.releaseArrival(txid, a)
+			sh.releaseArrival(txid, a)
+		case <-timedOut:
+			sh.releaseArrival(txid, a)
 			return OutcomePending, fmt.Errorf("engine: site %d does not know transaction %s", s.id, txid)
 		case <-s.quit:
-			s.releaseArrival(txid, a)
+			sh.releaseArrival(txid, a)
 			return OutcomePending, ErrStopped
 		}
 	}
@@ -820,7 +1134,7 @@ func (s *Site) WaitOutcome(txid string, timeout time.Duration) (Outcome, error) 
 // releaseArrival drops one waiter's interest in a transaction's arrival,
 // removing the notification entry with the last reference so unknown
 // transaction IDs cannot accumulate.
-func (s *Site) releaseArrival(txid string, a *arrival) {
+func (s *shard) releaseArrival(txid string, a *arrival) {
 	s.mu.Lock()
 	a.refs--
 	if a.refs == 0 && s.arrivals[txid] == a {
@@ -833,9 +1147,10 @@ func (s *Site) releaseArrival(txid string, a *arrival) {
 // transaction at this site, or "?" if unknown. Exposed for tests and the
 // termination protocol's observers.
 func (s *Site) Phase(txid string) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t, ok := s.txns[txid]; ok {
+	sh := s.shardFor(txid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t, ok := sh.txns[txid]; ok {
 		return t.phase.String()
 	}
 	return "?"
@@ -846,7 +1161,7 @@ func (s *Site) Phase(txid string) string {
 // behind the record's durability when the log group-commits, because they
 // are externally visible (a woken client may immediately read the data).
 // Requires s.mu held.
-func (s *Site) resolve(t *txState, o Outcome) {
+func (s *shard) resolve(t *txState, o Outcome) {
 	if t.resolved() {
 		return
 	}
@@ -878,10 +1193,7 @@ func (s *Site) resolve(t *txState, o Outcome) {
 		}
 	}
 	t.blocked = false
-	if t.timer != nil {
-		t.timer.Stop()
-		t.timer = nil
-	}
+	s.stopTimer(t)
 	done := t.done
 	s.act(func() { close(done) })
 	s.scheduleGC(t)
@@ -890,7 +1202,7 @@ func (s *Site) resolve(t *txState, o Outcome) {
 // observeResolve records resolution metrics for a transaction about to be
 // resolved: outcome counters at every role, and — at the coordinator —
 // begin→decision latency plus the 3PC ack-round phase. Requires s.mu held.
-func (s *Site) observeResolve(t *txState, o Outcome) {
+func (s *shard) observeResolve(t *txState, o Outcome) {
 	if s.metrics == nil {
 		return
 	}
@@ -917,7 +1229,7 @@ func (s *Site) observeResolve(t *txState, o Outcome) {
 // observeSettle records decision→full-DEC-ACK latency once per coordinated
 // transaction, when the last participant's acknowledgement arrives.
 // Requires s.mu held.
-func (s *Site) observeSettle(t *txState) {
+func (s *shard) observeSettle(t *txState) {
 	if s.metrics == nil || t.settled || t.decidedAt.IsZero() {
 		return
 	}
@@ -927,7 +1239,7 @@ func (s *Site) observeSettle(t *txState) {
 
 // tx returns (creating if needed) the transaction record. Requires s.mu
 // held.
-func (s *Site) tx(txid string) *txState {
+func (s *shard) tx(txid string) *txState {
 	t, ok := s.txns[txid]
 	if !ok {
 		t = &txState{id: txid, phase: phaseInit, done: make(chan struct{})}
@@ -945,9 +1257,10 @@ func (s *Site) tx(txid string) *txState {
 // state. Forgetting an unresolved transaction is an error — its protocol
 // state is still load-bearing.
 func (s *Site) Forget(txid string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.txns[txid]
+	sh := s.shardFor(txid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.txns[txid]
 	if !ok {
 		return nil // already forgotten
 	}
@@ -955,7 +1268,7 @@ func (s *Site) Forget(txid string) error {
 		return fmt.Errorf("engine: site %d cannot forget unresolved transaction %s (phase %s)",
 			s.id, txid, t.phase)
 	}
-	s.forgetLocked(t)
+	sh.forgetLocked(t)
 	return nil
 }
 
@@ -964,9 +1277,10 @@ func (s *Site) Forget(txid string) error {
 // Exposed for observability and for tests asserting cohort sizes — e.g.
 // that a single-shard transaction engaged exactly one site.
 func (s *Site) Participants(txid string) []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.txns[txid]
+	sh := s.shardFor(txid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.txns[txid]
 	if !ok {
 		return nil
 	}
@@ -976,11 +1290,13 @@ func (s *Site) Participants(txid string) []int {
 // Transactions returns the IDs of the transactions this site currently
 // tracks, for observability and tests.
 func (s *Site) Transactions() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.txns))
-	for id := range s.txns {
-		out = append(out, id)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id := range sh.txns {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out

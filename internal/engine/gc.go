@@ -25,14 +25,11 @@ import (
 // Called from resolve, so the DEC-ACK defers behind the outcome record's
 // durability like any other send — the ack must not outrun the record it
 // acknowledges. Requires s.mu held.
-func (s *Site) scheduleGC(t *txState) {
+func (s *shard) scheduleGC(t *txState) {
 	if s.forgetAfter <= 0 || t.peer {
 		return
 	}
 	if t.coordinator {
-		if t.decAcks == nil {
-			t.decAcks = map[int]bool{}
-		}
 		if s.decAcksComplete(t) {
 			s.observeSettle(t) // single-site cohort: nothing to collect
 		}
@@ -49,7 +46,7 @@ func (s *Site) scheduleGC(t *txState) {
 // participant's grace period expired (forget), or the coordinator re-offers
 // the decision to participants that have not acknowledged it yet. Requires
 // s.mu held.
-func (s *Site) gcTimeout(t *txState) {
+func (s *shard) gcTimeout(t *txState) {
 	if s.forgetAfter <= 0 || t.peer {
 		return
 	}
@@ -61,8 +58,8 @@ func (s *Site) gcTimeout(t *txState) {
 		s.forgetLocked(t)
 		return
 	}
-	for _, p := range t.meta.Participants {
-		if p != s.id && !t.decAcks[p] && s.det.Alive(p) {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.decAcks.has(i) && s.det.Alive(p) {
 			s.sendOutcome(p, t)
 		}
 	}
@@ -73,9 +70,9 @@ func (s *Site) gcTimeout(t *txState) {
 // the decision. Crashed participants are NOT waived: they re-acknowledge
 // after recovery, and until then the coordinator must keep the outcome.
 // Requires s.mu held.
-func (s *Site) decAcksComplete(t *txState) bool {
-	for _, p := range t.meta.Participants {
-		if p != s.id && !t.decAcks[p] {
+func (s *shard) decAcksComplete(t *txState) bool {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.decAcks.has(i) {
 			return false
 		}
 	}
@@ -85,17 +82,14 @@ func (s *Site) decAcksComplete(t *txState) bool {
 // onDecAck collects a participant's decision acknowledgement at the
 // coordinator; once the whole cohort has acknowledged, nobody will ever ask
 // about this transaction again and it can be forgotten.
-func (s *Site) onDecAck(m transport.Message) {
+func (s *shard) onDecAck(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
 	if !ok || !t.coordinator || !t.resolved() {
 		return
 	}
-	if t.decAcks == nil {
-		t.decAcks = map[int]bool{}
-	}
-	t.decAcks[m.From] = true
+	t.decAcks.add(t.cohortIdx(m.From))
 	if s.decAcksComplete(t) {
 		s.observeSettle(t)
 		// Do not forget inline: give local waiters the same grace period the
@@ -108,11 +102,8 @@ func (s *Site) onDecAck(m transport.Message) {
 // forgetLocked garbage-collects a resolved transaction: it forces an end
 // record (so recovery — and WAL compaction — skip the transaction entirely)
 // and drops the in-memory state. Requires s.mu held and t resolved.
-func (s *Site) forgetLocked(t *txState) {
+func (s *shard) forgetLocked(t *txState) {
 	s.mustLog(wal.Record{Type: wal.RecEnd, TxID: t.id})
-	if t.timer != nil {
-		t.timer.Stop()
-		t.timer = nil
-	}
+	s.stopTimer(t)
 	delete(s.txns, t.id)
 }

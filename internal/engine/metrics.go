@@ -67,9 +67,10 @@ func (m *Metrics) Phases() map[string]*metrics.Histogram {
 	}
 }
 
-// registerSiteGauges binds the per-site transaction-table and timer gauges
-// to s. GaugeFunc replaces the reader on re-registration, so a site
-// recovered under the same ID takes its series over.
+// registerSiteGauges binds the per-site transaction-table, timer and
+// dropped-event series to s. The func-backed series replace their reader on
+// re-registration, so a site recovered under the same ID takes its series
+// over.
 func (m *Metrics) registerSiteGauges(s *Site) {
 	if m.reg == nil {
 		return
@@ -77,20 +78,20 @@ func (m *Metrics) registerSiteGauges(s *Site) {
 	site := fmt.Sprint(s.id)
 	m.reg.Help("engine_transactions_tracked", "Transactions currently in the site's transaction table.")
 	m.reg.GaugeFunc("engine_transactions_tracked", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(len(s.txns))
+		n := 0
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			n += len(sh.txns)
+			sh.mu.Unlock()
+		}
+		return float64(n)
 	}, "site", site)
 	m.reg.Help("engine_timers_active", "Transactions with an armed protocol or GC timer.")
 	m.reg.GaugeFunc("engine_timers_active", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		n := 0
-		for _, t := range s.txns {
-			if t.timer != nil {
-				n++
-			}
-		}
-		return float64(n)
+		return float64(s.wheel.Len())
+	}, "site", site)
+	m.reg.Help("engine_events_dropped_total", "Events discarded because the site had stopped.")
+	m.reg.CounterFunc("engine_events_dropped_total", func() float64 {
+		return float64(s.dropped.Load())
 	}, "site", site)
 }

@@ -9,7 +9,7 @@ import (
 
 // onVoteReq handles the coordinator's transaction distribution: the
 // participant decides its vote by preparing the local resource.
-func (s *Site) onVoteReq(m transport.Message) {
+func (s *shard) onVoteReq(m transport.Message) {
 	meta, err := decodeMeta(m.Body)
 	if err != nil {
 		return // malformed; the coordinator will time out and abort
@@ -30,7 +30,7 @@ func (s *Site) onVoteReq(m transport.Message) {
 
 // onPrepareResult finishes the participant's vote once the local prepare
 // resolves.
-func (s *Site) onPrepareResult(v *voteResult) {
+func (s *shard) onPrepareResult(v voteResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[v.txid]
@@ -56,7 +56,7 @@ func (s *Site) onPrepareResult(v *voteResult) {
 }
 
 // onPrepareMsg moves a participant into the buffer state p (3PC).
-func (s *Site) onPrepareMsg(m transport.Message) {
+func (s *shard) onPrepareMsg(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
@@ -80,7 +80,7 @@ func (s *Site) onPrepareMsg(m transport.Message) {
 
 // onDecision applies a COMMIT/ABORT from the coordinator (or a backup
 // coordinator, or a recovered site re-broadcasting).
-func (s *Site) onDecision(m transport.Message, o Outcome) {
+func (s *shard) onDecision(m transport.Message, o Outcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
@@ -109,7 +109,7 @@ func (s *Site) onDecision(m transport.Message, o Outcome) {
 		// transactions without one).
 		if s.forgetAfter > 0 && !t.peer && !t.coordinator {
 			s.send(m.From, KindDecAck, m.TxID, nil)
-			if t.timer == nil {
+			if !t.timer.Armed() {
 				s.armTimer(t, s.forgetAfter)
 			}
 		}
@@ -124,12 +124,15 @@ func (s *Site) onDecision(m transport.Message, o Outcome) {
 	}
 }
 
-// handleTimeout drives a transaction whose protocol wait expired.
-func (s *Site) handleTimeout(txid string) {
+// handleTimeout drives a transaction whose protocol wait expired. gen is
+// the arm generation the fire was collected with: a fire that was already
+// in flight when the transaction re-armed (or stopped) its timer carries a
+// stale generation and must not drive the new wait.
+func (s *shard) handleTimeout(txid string, gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[txid]
-	if !ok {
+	if !ok || t.gen != gen {
 		return
 	}
 	if t.resolved() {
@@ -149,7 +152,7 @@ func (s *Site) handleTimeout(txid string) {
 
 // participantTimeout fires for a participant stuck in w or p (or re-fires
 // while blocked/recovering). Requires s.mu held.
-func (s *Site) participantTimeout(t *txState) {
+func (s *shard) participantTimeout(t *txState) {
 	if t.phase != phaseWait && t.phase != phasePrepared {
 		// A detached site in q only ever arms its timer when a termination
 		// attempt touched it (TERM-STATE); the timer expiring means the
@@ -184,18 +187,13 @@ func (s *Site) participantTimeout(t *txState) {
 
 // inCohort reports whether site participates in t.
 func inCohort(t *txState, site int) bool {
-	for _, p := range t.meta.Participants {
-		if p == site {
-			return true
-		}
-	}
-	return false
+	return t.cohortIdx(site) >= 0
 }
 
-// handleCrash reacts to a failure report from the detector. Transactions are
-// visited in sorted ID order so that the reactions (and the messages they
-// emit) are reproducible under deterministic simulation.
-func (s *Site) handleCrash(site int) {
+// handleCrash reacts to a failure report from the detector, scanning this
+// shard's partition. Transactions are visited in sorted ID order so that
+// the reactions (and the messages they emit) are reproducible.
+func (s *shard) handleCrash(site int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ids := make([]string, 0, len(s.txns))
@@ -204,34 +202,39 @@ func (s *Site) handleCrash(site int) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		t := s.txns[id]
-		if t.resolved() {
-			continue
-		}
-		if t.coordinator {
-			s.coordinatorCrashCheck(t, site)
-			continue
-		}
-		if t.recovering {
-			continue // recovery resolves via DECIDE-REQ retries
-		}
-		if t.peer {
-			// Any cohort crash impairs the decentralized protocol.
-			if inCohort(t, site) && (t.phase == phaseWait || t.phase == phasePrepared) {
-				s.startTermination(t)
-			}
-			continue
-		}
-		if site == t.meta.Coordinator && (t.phase == phaseWait || t.phase == phasePrepared) {
+		s.crashCheckTx(s.txns[id], site)
+	}
+}
+
+// crashCheckTx applies a crash report to one transaction. Requires s.mu
+// held.
+func (s *shard) crashCheckTx(t *txState, site int) {
+	if t.resolved() {
+		return
+	}
+	if t.coordinator {
+		s.coordinatorCrashCheck(t, site)
+		return
+	}
+	if t.recovering {
+		return // recovery resolves via DECIDE-REQ retries
+	}
+	if t.peer {
+		// Any cohort crash impairs the decentralized protocol.
+		if inCohort(t, site) && (t.phase == phaseWait || t.phase == phasePrepared) {
 			s.startTermination(t)
-			continue
 		}
-		if t.termActive || t.phase == phaseWait || t.phase == phasePrepared {
-			// The crash may have taken the backup coordinator down or
-			// changed the cohort; re-evaluate termination.
-			if t.meta.Coordinator != 0 && !s.det.Alive(t.meta.Coordinator) {
-				s.startTermination(t)
-			}
+		return
+	}
+	if site == t.meta.Coordinator && (t.phase == phaseWait || t.phase == phasePrepared) {
+		s.startTermination(t)
+		return
+	}
+	if t.termActive || t.phase == phaseWait || t.phase == phasePrepared {
+		// The crash may have taken the backup coordinator down or
+		// changed the cohort; re-evaluate termination.
+		if t.meta.Coordinator != 0 && !s.det.Alive(t.meta.Coordinator) {
+			s.startTermination(t)
 		}
 	}
 }

@@ -31,7 +31,8 @@ func Recover(cfg Config) (*Site, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := s.log.Records()
+	log := s.shards[0].log
+	recs, err := log.Records()
 	if err != nil {
 		return nil, fmt.Errorf("engine: recovery cannot read WAL: %w", err)
 	}
@@ -39,7 +40,7 @@ func Recover(cfg Config) (*Site, error) {
 	// Redo committed effects in log order.
 	for _, r := range recs {
 		if r.Type == wal.RecCommitted && len(r.Payload) > 0 {
-			if err := s.res.ApplyRedo(r.Payload); err != nil {
+			if err := s.shards[0].res.ApplyRedo(r.Payload); err != nil {
 				return nil, fmt.Errorf("engine: recovery redo of %s: %w", r.TxID, err)
 			}
 		}
@@ -53,15 +54,14 @@ func Recover(cfg Config) (*Site, error) {
 	}
 	sort.Strings(ids)
 
-	type rebroadcast struct {
-		t *txState
-	}
-	var pending []rebroadcast
+	var pending []*txState // resolved coordinator txns: re-broadcast outcome
 	var inDoubt []*txState
 
 	for _, id := range ids {
 		img := images[id]
-		t := s.tx(id)
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		t := sh.tx(id)
 		t.detached = true
 		t.coordinator = img.Coordinator
 		if img.Coordinator && len(img.Begin) > 0 {
@@ -79,27 +79,28 @@ func Recover(cfg Config) (*Site, error) {
 				// coordinator's re-send duty for it.
 				t.coordinator = false
 			} else if img.Coordinator {
-				pending = append(pending, rebroadcast{t: t})
+				pending = append(pending, t)
 			}
 		case wal.StatusAborted, wal.StatusVotedNo:
 			if img.Status == wal.StatusVotedNo {
 				// Crashed between logging the NO vote and the abort record.
-				s.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
+				sh.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
 			}
 			t.phase = phaseAborted
 			close(t.done)
 			if img.Coordinator {
-				pending = append(pending, rebroadcast{t: t})
+				pending = append(pending, t)
 			}
 		case wal.StatusBegun:
 			// Coordinator crashed before its commit point: abort.
-			s.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
+			sh.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
 			t.phase = phaseAborted
 			close(t.done)
-			pending = append(pending, rebroadcast{t: t})
+			pending = append(pending, t)
 		case wal.StatusVotedYes, wal.StatusPrepared:
 			vp, err := decodeVotePayload(img.Last)
 			if err != nil {
+				sh.mu.Unlock()
 				return nil, fmt.Errorf("engine: recovery cannot decode vote payload of %s: %w", id, err)
 			}
 			t.meta = vp.Meta
@@ -119,45 +120,53 @@ func Recover(cfg Config) (*Site, error) {
 			t.recovering = true
 			inDoubt = append(inDoubt, t)
 		}
+		sh.mu.Unlock()
 	}
 
 	s.Start()
 
-	// Post-start actions go through the normal send path.
-	s.mu.Lock()
-	for _, rb := range pending {
-		s.broadcastOutcome(rb.t)
+	// Post-start actions go through the normal send path, each under its
+	// transaction's owning shard.
+	for _, t := range pending {
+		sh := s.shardFor(t.id)
+		sh.mu.Lock()
+		sh.broadcastOutcome(t)
+		sh.mu.Unlock()
 	}
 	for _, t := range inDoubt {
-		s.queryOutcome(t)
+		sh := s.shardFor(t.id)
+		sh.mu.Lock()
+		sh.queryOutcome(t)
+		sh.mu.Unlock()
 	}
-	if s.forgetAfter > 0 {
+	if s.forget > 0 {
 		// Resume garbage collection for resolved transactions that survived
 		// the crash: coordinators re-collect DEC-ACKs, participants forget
 		// after the grace period. Decentralized transactions (known cohort,
 		// no coordinator) stay: with no collection point, forgetting could
 		// strand a recovering peer with nobody who remembers the outcome.
 		for _, id := range ids {
-			t, ok := s.txns[id]
+			sh := s.shardFor(id)
+			sh.mu.Lock()
+			t, ok := sh.txns[id]
 			if !ok || !t.resolved() {
+				sh.mu.Unlock()
 				continue
 			}
 			if t.meta.Coordinator == 0 && !t.coordinator && len(t.meta.Participants) > 0 {
+				sh.mu.Unlock()
 				continue
 			}
-			if t.coordinator && t.decAcks == nil {
-				t.decAcks = map[int]bool{}
-			}
-			s.armTimer(t, s.forgetAfter)
+			sh.armTimer(t, s.forget)
+			sh.mu.Unlock()
 		}
 	}
-	s.mu.Unlock()
 	return s, nil
 }
 
 // queryOutcome asks every operational cohort member for the transaction's
 // outcome. Requires s.mu held.
-func (s *Site) queryOutcome(t *txState) {
+func (s *shard) queryOutcome(t *txState) {
 	for _, p := range t.meta.Participants {
 		if p != s.id && s.det.Alive(p) {
 			s.send(p, KindDecideReq, t.id, nil)
@@ -168,13 +177,13 @@ func (s *Site) queryOutcome(t *txState) {
 
 // retryRecovery re-queries the cohort for an in-doubt transaction. Requires
 // s.mu held.
-func (s *Site) retryRecovery(t *txState) {
+func (s *shard) retryRecovery(t *txState) {
 	s.queryOutcome(t)
 }
 
 // onDecideReq answers an outcome query: from a recovering site, a blocked
 // participant nudging its coordinator, or anyone else.
-func (s *Site) onDecideReq(m transport.Message) {
+func (s *shard) onDecideReq(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
@@ -199,7 +208,7 @@ func (s *Site) onDecideReq(m transport.Message) {
 
 // onDecideRes resolves an in-doubt transaction when a peer knows the
 // outcome.
-func (s *Site) onDecideRes(m transport.Message) {
+func (s *shard) onDecideRes(m transport.Message) {
 	if len(m.Body) < 1 || m.Body[0] == '?' {
 		return
 	}
@@ -235,13 +244,15 @@ func (s *Site) onDecideRes(m transport.Message) {
 // InDoubt reports the transactions this site cannot yet resolve after
 // recovery, sorted by ID.
 func (s *Site) InDoubt() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []string
-	for id, t := range s.txns {
-		if t.recovering && !t.resolved() {
-			out = append(out, id)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, t := range sh.txns {
+			if t.recovering && !t.resolved() {
+				out = append(out, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out

@@ -8,6 +8,7 @@ package kv
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -60,25 +61,98 @@ type WriteOp struct {
 	Delete bool
 }
 
-// EncodeWrites serializes a write set for a WAL payload.
+// writesFormatV1 tags the hand-rolled binary write-set encoding. A gob
+// stream can never start with this byte: gob's first message is a type
+// descriptor preceded by its byte count, which is always larger than 1.
+const writesFormatV1 = 0x01
+
+// EncodeWrites serializes a write set for a WAL payload. The format is a
+// tag byte, a uvarint op count, then per op uvarint-length-prefixed key and
+// value and a flags byte — Prepare runs it for every transaction, and the
+// previous gob encoding spent most of its time re-sending type descriptors
+// from a fresh encoder per call.
 func EncodeWrites(ops []WriteOp) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(ops); err != nil {
-		return nil, fmt.Errorf("kv: encode writes: %w", err)
+	size := 1 + binary.MaxVarintLen64
+	for _, op := range ops {
+		size += 2*binary.MaxVarintLen64 + len(op.Key) + len(op.Value) + 1
 	}
-	return buf.Bytes(), nil
+	buf := make([]byte, 1, size)
+	buf[0] = writesFormatV1
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+		buf = append(buf, op.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
+		buf = append(buf, op.Value...)
+		var flags byte
+		if op.Delete {
+			flags = 1
+		}
+		buf = append(buf, flags)
+	}
+	return buf, nil
 }
 
-// DecodeWrites parses a write set from a WAL payload.
+// DecodeWrites parses a write set from a WAL payload. Payloads not tagged
+// with the binary format fall back to the legacy gob decoding, so logs
+// written before the format change still replay.
 func DecodeWrites(p []byte) ([]WriteOp, error) {
-	var ops []WriteOp
 	if len(p) == 0 {
 		return nil, nil
 	}
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&ops); err != nil {
-		return nil, fmt.Errorf("kv: decode writes: %w", err)
+	if p[0] != writesFormatV1 {
+		var ops []WriteOp
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&ops); err != nil {
+			return nil, fmt.Errorf("kv: decode writes: %w", err)
+		}
+		return ops, nil
+	}
+	rest := p[1:]
+	n, cnt, err := decodeUvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	rest = rest[n:]
+	if cnt > uint64(len(rest)) { // each op needs at least 3 bytes
+		return nil, fmt.Errorf("kv: decode writes: op count %d exceeds payload", cnt)
+	}
+	ops := make([]WriteOp, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		var op WriteOp
+		if op.Key, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		if op.Value, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("kv: decode writes: truncated flags")
+		}
+		op.Delete = rest[0]&1 != 0
+		rest = rest[1:]
+		ops = append(ops, op)
 	}
 	return ops, nil
+}
+
+func decodeUvarint(p []byte) (int, uint64, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("kv: decode writes: bad varint")
+	}
+	return n, v, nil
+}
+
+func decodeString(p []byte) (string, []byte, error) {
+	n, l, err := decodeUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	p = p[n:]
+	if l > uint64(len(p)) {
+		return "", nil, fmt.Errorf("kv: decode writes: truncated string")
+	}
+	return string(p[:l]), p[l:], nil
 }
 
 type txn struct {

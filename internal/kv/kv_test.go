@@ -1,6 +1,8 @@
 package kv
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
@@ -243,6 +245,23 @@ func TestEncodeDecodeWrites(t *testing.T) {
 	}
 	if _, err := DecodeWrites([]byte("garbage")); err == nil {
 		t.Fatal("garbage should fail")
+	}
+}
+
+// WAL payloads written before the binary write-set format were gob streams;
+// DecodeWrites must still replay them.
+func TestDecodeWritesLegacyGob(t *testing.T) {
+	ops := []WriteOp{{Key: "a", Value: "1"}, {Key: "b", Delete: true}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWrites(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("legacy gob round trip = %+v", got)
 	}
 }
 

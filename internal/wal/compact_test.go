@@ -191,6 +191,11 @@ func TestCompactConcurrentWithAppendsAndReads(t *testing.T) {
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	errs := make(chan error, 3)
+	// first closes once the appender has landed a record, so the compaction
+	// loop below genuinely races with live appends; on one CPU the main
+	// goroutine can otherwise finish all five Compacts before the appender
+	// is ever scheduled.
+	first := make(chan struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -203,6 +208,9 @@ func TestCompactConcurrentWithAppendsAndReads(t *testing.T) {
 			if _, err := l.Append(Record{Type: RecCommitted, TxID: fmt.Sprintf("cc-%d", i)}); err != nil {
 				errs <- err
 				return
+			}
+			if i == 0 {
+				close(first)
 			}
 		}
 	}()
@@ -221,6 +229,7 @@ func TestCompactConcurrentWithAppendsAndReads(t *testing.T) {
 			}
 		}
 	}()
+	<-first
 	for i := 0; i < 5; i++ {
 		if _, _, err := l.Compact(); err != nil {
 			t.Fatalf("compact %d: %v", i, err)

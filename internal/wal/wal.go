@@ -166,8 +166,8 @@ func (l *MemoryLog) Reopen() {
 }
 
 // Metrics receives observations from a FileLog. Nil fields are skipped; the
-// hooks are called on the observing goroutine (the flusher for batch hooks,
-// the compacting goroutine for Compaction) and must be fast.
+// hooks are called on the observing goroutine (the callback runner for batch
+// hooks, the compacting goroutine for Compaction) and must be fast.
 type Metrics struct {
 	// BatchRecords observes the number of records in each flushed batch.
 	BatchRecords func(n int)
@@ -213,21 +213,34 @@ type FileLog struct {
 	wmu sync.Mutex
 	f   *os.File
 
-	// cbmu serializes durability callbacks in batch order: it is acquired
-	// while wmu is still held and released only after the batch's
-	// callbacks ran, so a later batch can never report before an earlier
-	// one.
-	cbmu sync.Mutex
+	// Durability callbacks run on a dedicated goroutine so the flusher can
+	// start the next batch's write+fsync while the previous batch's
+	// callbacks are still in flight. flush enqueues under cbMu while wmu
+	// is still held, so queue order is batch (LSN) order and a later batch
+	// can never report before an earlier one.
+	cbMu sync.Mutex
+	cbq  []cbBatch
 
 	wake        chan struct{}
 	quit        chan struct{}
 	flusherDone chan struct{}
+	cbWake      chan struct{}
+	cbQuit      chan struct{}
+	cbDone      chan struct{}
 }
 
 type stagedRec struct {
 	lsn uint64
 	buf []byte // header + body, ready to write
 	fn  func(lsn uint64, err error)
+}
+
+// cbBatch is one flushed batch awaiting callback delivery.
+type cbBatch struct {
+	recs    []stagedRec
+	err     error
+	nbytes  int
+	elapsed time.Duration
 }
 
 // FileLogOptions configures a FileLog.
@@ -282,8 +295,12 @@ func OpenFileLog(path string, opts FileLogOptions) (*FileLog, error) {
 		wake:        make(chan struct{}, 1),
 		quit:        make(chan struct{}),
 		flusherDone: make(chan struct{}),
+		cbWake:      make(chan struct{}, 1),
+		cbQuit:      make(chan struct{}),
+		cbDone:      make(chan struct{}),
 	}
 	go l.flusher()
+	go l.cbRunner()
 	return l, nil
 }
 
@@ -446,7 +463,9 @@ func (l *FileLog) gather() {
 
 // flush writes one batch: everything currently staged, up to MaxBatchBytes.
 // Any goroutine may call it (the flusher, Records, SyncNow, Close); wmu
-// orders the writes and cbmu orders the callbacks.
+// orders the writes, and enqueueing to the callback runner under cbMu while
+// wmu is still held orders the callbacks. flush returns once the batch is
+// durable — its callbacks may still be running on the callback goroutine.
 func (l *FileLog) flush() {
 	l.wmu.Lock()
 	l.mu.Lock()
@@ -482,24 +501,62 @@ func (l *FileLog) flush() {
 		err = fmt.Errorf("wal: append batch: %w", err)
 	}
 
-	l.cbmu.Lock()
+	l.cbMu.Lock()
+	l.cbq = append(l.cbq, cbBatch{recs: batch, err: err, nbytes: nbytes, elapsed: elapsed})
+	l.cbMu.Unlock()
 	l.wmu.Unlock()
-	if l.metrics.BatchRecords != nil {
-		l.metrics.BatchRecords(len(batch))
+	select {
+	case l.cbWake <- struct{}{}:
+	default:
 	}
-	if l.metrics.SyncLatency != nil {
-		l.metrics.SyncLatency(elapsed)
-	}
-	if l.metrics.BatchBytes != nil {
-		l.metrics.BatchBytes(nbytes)
-	}
-	for _, r := range batch {
-		r.fn(r.lsn, err)
-	}
-	l.cbmu.Unlock()
 
 	if remaining {
 		l.signal()
+	}
+}
+
+// cbRunner delivers durability callbacks in batch order, off the flusher's
+// critical path: while it runs batch N's callbacks the flusher is already
+// writing and syncing batch N+1.
+func (l *FileLog) cbRunner() {
+	defer close(l.cbDone)
+	for {
+		select {
+		case <-l.cbWake:
+			l.drainCallbacks()
+		case <-l.cbQuit:
+			// Close flushes the last batch before signalling cbQuit, so
+			// one final drain empties the queue.
+			l.drainCallbacks()
+			return
+		}
+	}
+}
+
+func (l *FileLog) drainCallbacks() {
+	for {
+		l.cbMu.Lock()
+		if len(l.cbq) == 0 {
+			l.cbq = nil // release the drained backing array
+			l.cbMu.Unlock()
+			return
+		}
+		b := l.cbq[0]
+		l.cbq[0] = cbBatch{}
+		l.cbq = l.cbq[1:]
+		l.cbMu.Unlock()
+		if l.metrics.BatchRecords != nil {
+			l.metrics.BatchRecords(len(b.recs))
+		}
+		if l.metrics.SyncLatency != nil {
+			l.metrics.SyncLatency(b.elapsed)
+		}
+		if l.metrics.BatchBytes != nil {
+			l.metrics.BatchBytes(b.nbytes)
+		}
+		for _, r := range b.recs {
+			r.fn(r.lsn, b.err)
+		}
 	}
 }
 
@@ -571,6 +628,8 @@ func (l *FileLog) Close() error {
 	close(l.quit)
 	<-l.flusherDone
 	l.flush() // defensive: the flusher's final drain already emptied staging
+	close(l.cbQuit)
+	<-l.cbDone
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
 	return l.f.Close()
