@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/dst                      # enumerate + 500 random seeds, 2PC and 3PC
-//	go run ./cmd/dst -protocol 3pc -seeds 5000
+//	go run ./cmd/dst                      # enumerate + 500 random seeds, 2PC, 3PC and Paxos
+//	go run ./cmd/dst -protocol paxos -seeds 5000
 //	go run ./cmd/dst -protocol 3pc -seed 113 -trace   # replay one schedule
 //	go run ./cmd/dst -regress                         # replay the pinned-bug seeds
 //	go run ./cmd/dst -hostile coord-crash-prepared -protocol 2pc -seed 4 -trace
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "both", "protocol to explore: 2pc, 3pc, or both")
+		protocol = flag.String("protocol", "all", "protocol to explore: 2pc, 3pc, paxos, both (2pc+3pc), or all")
 		sites    = flag.Int("sites", 3, "cohort size")
 		seeds    = flag.Int("seeds", 500, "number of random schedules per protocol")
 		seed     = flag.Int64("seed", -1, "replay a single random schedule instead of sweeping")
@@ -37,15 +37,17 @@ func main() {
 
 	var kinds []engine.ProtocolKind
 	switch *protocol {
-	case "2pc":
-		kinds = []engine.ProtocolKind{engine.TwoPhase}
-	case "3pc":
-		kinds = []engine.ProtocolKind{engine.ThreePhase}
 	case "both":
 		kinds = []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase}
+	case "all":
+		kinds = []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit}
 	default:
-		fmt.Fprintf(os.Stderr, "dst: unknown -protocol %q (want 2pc, 3pc, or both)\n", *protocol)
-		os.Exit(2)
+		kind, err := engine.ParseProtocol(*protocol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dst: %v (or: both, all)\n", err)
+			os.Exit(2)
+		}
+		kinds = []engine.ProtocolKind{kind}
 	}
 
 	if *regress {
@@ -115,13 +117,13 @@ func main() {
 func runRegress(trace bool) int {
 	code := 0
 	for _, rs := range dst.RegressionScenarios() {
-		for i, r := range dst.RunRegression(rs) {
+		for _, r := range dst.RunRegression(rs) {
 			status := "ok"
 			if len(r.Violations) > 0 {
 				status = "REGRESSED"
 				code = 1
 			}
-			fmt.Printf("%-32s %s seed=%-6d %s\n", rs.Name, rs.Protocol, rs.Seeds[i], status)
+			fmt.Printf("%-28s %-6s %-48s %s\n", rs.Name, rs.Protocol, r.Scenario, status)
 			if len(r.Violations) > 0 {
 				fmt.Printf("  bug: %s\n", rs.Bug)
 				printReport(r, trace)
@@ -187,8 +189,11 @@ func printReport(r dst.Report, withTrace bool) {
 }
 
 func protoFlag(k engine.ProtocolKind) string {
-	if k == engine.ThreePhase {
+	switch k {
+	case engine.ThreePhase:
 		return "3pc"
+	case engine.PaxosCommit:
+		return "paxos"
 	}
 	return "2pc"
 }

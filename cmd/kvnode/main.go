@@ -1,5 +1,6 @@
 // Command kvnode runs one site of a distributed key-value store over TCP:
-// the commit engine (2PC or 3PC, central-site or decentralized) with a
+// the commit engine (2PC, 3PC or Paxos Commit; central-site or
+// decentralized) with a
 // file-backed write-ahead log, a heartbeat failure detector, the lock-based
 // store, and — optionally — a line-oriented client API through which this
 // node coordinates distributed transactions.
@@ -44,7 +45,7 @@ func main() {
 		clientAddr = flag.String("client", "", "client API listen address (empty: none)")
 		peersFlag  = flag.String("peers", "", "peer sites: \"2=host:port,3=host:port\"")
 		walPath    = flag.String("wal", "", "write-ahead log file (required)")
-		protoFlag  = flag.String("proto", "3pc", "commit protocol: 2pc or 3pc")
+		protoFlag  = flag.String("proto", "3pc", "commit protocol: 2pc, 3pc, or paxos")
 		paradigm   = flag.String("paradigm", "central", "central or decentralized")
 		timeout    = flag.Duration("timeout", 500*time.Millisecond, "protocol timeout")
 		hbEvery    = flag.Duration("hb", 150*time.Millisecond, "heartbeat interval")
@@ -65,16 +66,15 @@ func main() {
 	if *walPath == "" {
 		log.Fatal("kvnode: -wal is required")
 	}
-	kind := engine.ThreePhase
-	switch strings.ToLower(*protoFlag) {
-	case "3pc":
-	case "2pc":
-		kind = engine.TwoPhase
-	default:
-		log.Fatalf("kvnode: unknown protocol %q", *protoFlag)
+	kind, err := engine.ParseProtocol(*protoFlag)
+	if err != nil {
+		log.Fatalf("kvnode: %v", err)
 	}
 	if *paradigm != "central" && *paradigm != "decentralized" {
 		log.Fatalf("kvnode: unknown paradigm %q", *paradigm)
+	}
+	if kind == engine.PaxosCommit && *paradigm == "decentralized" {
+		log.Fatal("kvnode: Paxos Commit has no decentralized variant")
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -82,7 +82,7 @@ func main() {
 	}
 
 	// Observability: one registry collects WAL, transport and engine series;
-	// the commit-path families are registered for BOTH protocol kinds so a
+	// the commit-path families are registered for every protocol kind so a
 	// scrape always exposes the full schema (only the active kind gets
 	// samples). Tracing uses a bounded ring, safe to leave on indefinitely.
 	// Built before the endpoint so the transport can feed its batch-size
@@ -149,10 +149,14 @@ func main() {
 			walDropped.Add(int64(dropped))
 		},
 	}
-	engine.NewMetrics(reg, engine.TwoPhase) // expose both protocol families
-	engineMetrics := engine.NewMetrics(reg, engine.ThreePhase)
-	if kind == engine.TwoPhase {
-		engineMetrics = engine.NewMetrics(reg, engine.TwoPhase)
+	// Expose every protocol family so a scrape always sees the full schema;
+	// the engine samples only the active kind's series.
+	var engineMetrics *engine.Metrics
+	for _, k := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
+		m := engine.NewMetrics(reg, k)
+		if k == kind {
+			engineMetrics = m
+		}
 	}
 	var recorder *trace.Recorder
 	if *traceLimit > 0 {

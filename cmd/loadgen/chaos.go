@@ -52,13 +52,21 @@ type chaosReport struct {
 	// BlockingGapScenarios lists scenarios where 2PC blocked on some seed
 	// and 3PC never did — the paper's nonblocking claim, measured.
 	BlockingGapScenarios []string `json:"blocking_gap_scenarios"`
+	// PaxosCleanScenarios lists scenarios Paxos Commit survived with zero
+	// blocked seeds AND zero split decisions — the cells where 2PC blocks or
+	// 3PC risks a split while the replicated decision stays both safe and
+	// available.
+	PaxosCleanScenarios []string `json:"paxos_clean_scenarios"`
 }
 
-// runChaos sweeps the curated hostile scenario table for both protocols over
-// seedsPerCell seeds each and writes the aggregated matrix. It exits nonzero
-// if 2PC ever splits a decision (2PC must block, never diverge), if any
-// harness-level failure surfaces, or if no scenario exhibits the
-// 2PC-blocks-3PC-terminates gap.
+// runChaos sweeps the curated hostile scenario table for all three protocol
+// families over seedsPerCell seeds each and writes the aggregated matrix. It
+// exits nonzero if 2PC or Paxos ever splits a decision (only 3PC may diverge,
+// under partitions — its known quorum-less defect), if any harness-level
+// failure surfaces (for Paxos that includes a single termination-protocol
+// message), if no scenario exhibits the 2PC-blocks-3PC-terminates gap, or if
+// Paxos's fault-free WAN p50 is not below 3PC's (the two-message-delay fast
+// path is the point of the ballot-0 optimization).
 func runChaos(seedsPerCell int, out string) error {
 	scenarios := dst.HostileScenarios()
 	rep := chaosReport{SeedsPerCell: seedsPerCell}
@@ -68,7 +76,7 @@ func runChaos(seedsPerCell int, out string) error {
 
 	for _, sc := range scenarios {
 		row := chaosScenarioResult{Name: sc.Name, Desc: sc.Desc, Cells: map[string]chaosCell{}}
-		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 			cell := chaosCell{Protocol: proto.String(), Seeds: seedsPerCell}
 			var lat metrics.Histogram
 			faultTxns, faultAnswered := 0, 0
@@ -83,9 +91,11 @@ func runChaos(seedsPerCell int, out string) error {
 				}
 				if r.SplitTxns > 0 {
 					cell.SplitSeeds++
-					if proto == engine.TwoPhase {
-						return fmt.Errorf("chaos %s/2PC seed %d split a decision: %v (replay: go run ./cmd/dst -hostile %s -protocol 2pc -seed %d -trace)",
-							sc.Name, seed, r.Violations, sc.Name, seed)
+					if proto != engine.ThreePhase {
+						// Only 3PC may split (under partitions); 2PC blocks
+						// instead, and Paxos decides by majority consensus.
+						return fmt.Errorf("chaos %s/%s seed %d split a decision: %v (replay: go run ./cmd/dst -hostile %s -protocol %s -seed %d -trace)",
+							sc.Name, proto, seed, r.Violations, sc.Name, protoArg(proto), seed)
 					}
 				}
 				if len(r.BlockedSites) > 0 {
@@ -128,20 +138,37 @@ func runChaos(seedsPerCell int, out string) error {
 		}
 		rep.Scenarios = append(rep.Scenarios, row)
 
-		two, three := row.Cells["2PC"], row.Cells["3PC"]
+		two, three, px := row.Cells["2PC"], row.Cells["3PC"], row.Cells["Paxos"]
 		if two.BlockedSeeds > 0 && three.BlockedSeeds == 0 {
 			rep.BlockingGapScenarios = append(rep.BlockingGapScenarios, sc.Name)
 		}
-		fmt.Printf("%-22s 2PC block=%.2f avail=%.2f/%.2f p99=%7.1fms | 3PC block=%.2f avail=%.2f/%.2f p99=%7.1fms\n",
+		if px.BlockedSeeds == 0 && px.SplitSeeds == 0 {
+			rep.PaxosCleanScenarios = append(rep.PaxosCleanScenarios, sc.Name)
+		}
+		fmt.Printf("%-22s 2PC block=%.2f avail=%.2f p50=%6.1f | 3PC split=%d avail=%.2f p50=%6.1f | Paxos split=%d avail=%.2f p50=%6.1f\n",
 			sc.Name,
-			two.BlockingProbability, two.AvailabilityFault, two.Availability, two.P99Ms,
-			three.BlockingProbability, three.AvailabilityFault, three.Availability, three.P99Ms)
+			two.BlockingProbability, two.AvailabilityFault, two.P50Ms,
+			three.SplitSeeds, three.AvailabilityFault, three.P50Ms,
+			px.SplitSeeds, px.AvailabilityFault, px.P50Ms)
 	}
 
 	if len(rep.BlockingGapScenarios) == 0 {
 		return fmt.Errorf("chaos: no scenario exhibits the 2PC-blocks-while-3PC-terminates gap — the matrix lost its negative control")
 	}
 	fmt.Printf("blocking gap (2PC blocks, 3PC terminates): %v\n", rep.BlockingGapScenarios)
+	fmt.Printf("paxos clean (no blocking, no splits): %v\n", rep.PaxosCleanScenarios)
+	for _, sc := range rep.Scenarios {
+		if sc.Name != "wan-baseline" {
+			continue
+		}
+		three, px := sc.Cells["3PC"], sc.Cells["Paxos"]
+		if px.P50Ms >= three.P50Ms {
+			return fmt.Errorf("chaos: fault-free WAN p50 regression: Paxos %.1fms >= 3PC %.1fms — the ballot-0 two-delay fast path is gone",
+				px.P50Ms, three.P50Ms)
+		}
+		fmt.Printf("fault-free WAN p50: Paxos %.1fms < 3PC %.1fms (2PC %.1fms)\n",
+			px.P50Ms, three.P50Ms, sc.Cells["2PC"].P50Ms)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -152,6 +179,17 @@ func runChaos(seedsPerCell int, out string) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// protoArg names a protocol the way the CLI -protocol flags spell it.
+func protoArg(k engine.ProtocolKind) string {
+	switch k {
+	case engine.ThreePhase:
+		return "3pc"
+	case engine.PaxosCommit:
+		return "paxos"
+	}
+	return "2pc"
 }
 
 func ratio(a, b int) float64 {

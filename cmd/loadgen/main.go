@@ -2,10 +2,11 @@
 //
 // -mode throughput (default): a closed loop of N concurrent client sessions
 // drives distributed transactions through a 3-node in-process cluster whose
-// sites run file-backed, fsync-enabled write-ahead logs, for both 2PC and
-// 3PC and with group commit on and off (off = one serialized write+fsync per
-// record, the pre-group-commit baseline). Each scenario reports commits/sec,
-// p50/p95/p99 commit latency, WAL batch statistics, and steady-state memory.
+// sites run file-backed, fsync-enabled write-ahead logs, for 2PC, 3PC and
+// Paxos Commit and with group commit on and off (off = one serialized
+// write+fsync per record, the pre-group-commit baseline). Each scenario
+// reports commits/sec, p50/p95/p99 commit latency, WAL batch statistics, and
+// steady-state memory.
 //
 // -mode scaleout: a keyed (shard-routed) workload against clusters of
 // increasing size, sweeping the fraction of cross-shard transactions, to
@@ -18,9 +19,9 @@
 //
 // -mode chaos: the hostile-environment matrix — the curated WAN/partition/
 // gray-failure scenario table (internal/dst.HostileScenarios) swept over
-// seeds for 2PC and 3PC, reporting blocking probability, commit availability
-// during and after faults, and cross-region tail latency in virtual time
-// (see chaos.go).
+// seeds for 2PC, 3PC and Paxos Commit, reporting blocking probability, commit
+// availability during and after faults, and cross-region tail latency in
+// virtual time (see chaos.go).
 //
 // Either way the run is written as JSON so the bench trajectory can track it.
 //
@@ -90,8 +91,9 @@ type report struct {
 	Clients    int              `json:"clients"`
 	DurationS  float64          `json:"duration_s"`
 	Scenarios  []scenarioResult `json:"scenarios"`
-	Speedup2PC float64          `json:"speedup_2pc"` // group vs fsync-per-record
-	Speedup3PC float64          `json:"speedup_3pc"`
+	Speedup2PC   float64        `json:"speedup_2pc"` // group vs fsync-per-record
+	Speedup3PC   float64        `json:"speedup_3pc"`
+	SpeedupPaxos float64        `json:"speedup_paxos"`
 }
 
 func main() {
@@ -108,7 +110,7 @@ func main() {
 		senders    = flag.Int("senders", 8, "transport: concurrent sender goroutines")
 		sitesFlag  = flag.String("sites", "2,4,8", "scaleout: comma-separated cluster sizes")
 		crossFlag  = flag.String("cross-shard", "0,0.25,1", "scaleout: comma-separated fractions of cross-shard transactions, each in [0,1]")
-		protoFlag  = flag.String("proto", "3pc", "scaleout: commit protocol (2pc or 3pc)")
+		protoFlag  = flag.String("proto", "3pc", "scaleout: commit protocol (2pc, 3pc, or paxos)")
 		chaosSeeds = flag.Int("chaos-seeds", 25, "chaos: seeds per (scenario, protocol) cell")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering every scenario run")
 	)
@@ -158,11 +160,9 @@ func main() {
 		}
 		return
 	case "scaleout":
-		proto := engine.ThreePhase
-		if *protoFlag == "2pc" {
-			proto = engine.TwoPhase
-		} else if *protoFlag != "3pc" {
-			log.Fatalf("loadgen: unknown protocol %q", *protoFlag)
+		proto, err := engine.ParseProtocol(*protoFlag)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
 		}
 		sites, err := parseInts(*sitesFlag)
 		if err != nil {
@@ -188,14 +188,14 @@ func main() {
 	}
 
 	rep := report{Clients: *clients, DurationS: duration.Seconds()}
-	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 		for _, group := range []bool{false, true} {
 			res, err := runScenario(proto, group, *clients, *duration, *warmup, *forget, *shards, base)
 			if err != nil {
 				log.Fatalf("loadgen: %s group=%v: %v", proto, group, err)
 			}
 			rep.Scenarios = append(rep.Scenarios, *res)
-			fmt.Printf("%-4s %-17s %8.0f commits/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  mean batch %.1f\n",
+			fmt.Printf("%-5s %-17s %8.0f commits/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  mean batch %.1f\n",
 				res.Protocol, res.WAL, res.CommitsPerSec, res.P50Ms, res.P95Ms, res.P99Ms, res.WALMeanBatch)
 			if line := phaseLine(res.Phases); line != "" {
 				fmt.Printf("     phases:%s\n", line)
@@ -204,7 +204,9 @@ func main() {
 	}
 	rep.Speedup2PC = speedup(rep.Scenarios, "2PC")
 	rep.Speedup3PC = speedup(rep.Scenarios, "3PC")
-	fmt.Printf("group-commit speedup: 2PC %.2fx, 3PC %.2fx\n", rep.Speedup2PC, rep.Speedup3PC)
+	rep.SpeedupPaxos = speedup(rep.Scenarios, "Paxos")
+	fmt.Printf("group-commit speedup: 2PC %.2fx, 3PC %.2fx, Paxos %.2fx\n",
+		rep.Speedup2PC, rep.Speedup3PC, rep.SpeedupPaxos)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

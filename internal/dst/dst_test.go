@@ -11,8 +11,11 @@ import (
 var seedCount = flag.Int("dst.seeds", 500, "random schedules to explore per protocol")
 
 func protoFlag(k engine.ProtocolKind) string {
-	if k == engine.ThreePhase {
+	switch k {
+	case engine.ThreePhase:
 		return "3pc"
+	case engine.PaxosCommit:
+		return "paxos"
 	}
 	return "2pc"
 }
@@ -61,11 +64,36 @@ func TestEnumerated2PCFindsBlocking(t *testing.T) {
 	t.Logf("explored %d single-crash 2PC schedules; %d block, none inconsistent", len(reports), blocked)
 }
 
+// TestEnumeratedPaxosNonblocking exhaustively explores every single-crash-point
+// schedule of a 3-site (2F+1 = 3 acceptors) Paxos Commit transaction — a crash
+// after each WAL append (vote-yes and paxos-accept records included, i.e.
+// acceptor crashes) and after each message delivery of the fault-free
+// execution. No schedule may block an operational site, split the decision, or
+// — the headline property, checked on every run by paxosNoTermination —
+// exchange a single termination-protocol message: coordinator death is
+// resolved by a survivor leading a higher ballot, never by the cohort
+// termination protocol.
+func TestEnumeratedPaxosNonblocking(t *testing.T) {
+	reports := ExploreCrashPoints(Config{Protocol: engine.PaxosCommit})
+	if len(reports) < 10 {
+		t.Fatalf("suspiciously small enumeration: %d crash points", len(reports))
+	}
+	for _, r := range reports {
+		for _, v := range r.Violations {
+			t.Errorf("%s: %s", r.Scenario, v)
+		}
+		if r.Blocked {
+			t.Errorf("%s: an operational site reported blocked under Paxos Commit", r.Scenario)
+		}
+	}
+	t.Logf("explored %d single-crash Paxos schedules, all nonblocking, consistent, and termination-protocol-free", len(reports))
+}
+
 // TestRandomSchedules sweeps seeded random schedules (crashes, staggered
 // recoveries, transient partitions, scripted NO votes, random delivery order)
 // for both protocols. Any violation prints the reproducer command.
 func TestRandomSchedules(t *testing.T) {
-	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 		t.Run(proto.String(), func(t *testing.T) {
 			blocked := 0
 			for seed := int64(1); seed <= int64(*seedCount); seed++ {
@@ -110,7 +138,7 @@ func TestRegressionSeeds(t *testing.T) {
 // TestReplayDeterminism re-runs schedules and requires byte-identical traces
 // and WAL digests — the property that makes every reported seed a reproducer.
 func TestReplayDeterminism(t *testing.T) {
-	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 		for _, seed := range []int64{1, 7, 42, 1234} {
 			a := RunRandom(Config{Protocol: proto}, seed)
 			b := RunRandom(Config{Protocol: proto}, seed)

@@ -288,10 +288,14 @@ func RunRandom(cfg Config, seed int64) Report {
 	}
 	var txns []txn
 	for i := 0; i < 1+rng.Intn(3); i++ {
+		peer := rng.Intn(4) == 0
+		if cfg.Protocol == engine.PaxosCommit {
+			peer = false // Paxos Commit has no decentralized variant
+		}
 		tx := txn{
 			id:    fmt.Sprintf("t%d", i+1),
 			coord: 1 + rng.Intn(cfg.Sites),
-			peer:  rng.Intn(4) == 0,
+			peer:  peer,
 		}
 		txns = append(txns, tx)
 		for _, site := range c.ids {
@@ -349,6 +353,7 @@ func RunRandom(cfg Config, seed int64) Report {
 	}
 
 	crashed := len(c.everCrashed) > 0
+	majority := cfg.Sites/2 + 1
 	for _, txid := range c.sortedTxids() {
 		views := snap[txid]
 		// A site that never failed and resolved the transaction can answer
@@ -369,6 +374,14 @@ func RunRandom(cfg Config, seed int64) Report {
 				r.violate("3PC nonblocking violated: operational site %d pending on %s (blocked=%v)",
 					id, txid, views[id].blocked)
 			case cfg.Protocol == engine.ThreePhase && !hasPartition && resolvedByHealthy:
+				r.violate("recovered site %d stuck on %s though a healthy site knows the outcome", id, txid)
+			case cfg.Protocol == engine.PaxosCommit && !hasPartition && !c.everCrashed[id] && c.aliveCount() >= majority:
+				// The replicated-decision theorem: with a majority of the
+				// 2F+1 acceptors alive, any operational site terminates — no
+				// crash pattern of F sites (the coordinator included) blocks.
+				r.violate("paxos availability violated: never-crashed site %d pending on %s with a majority of acceptors alive",
+					id, txid)
+			case cfg.Protocol == engine.PaxosCommit && !hasPartition && resolvedByHealthy:
 				r.violate("recovered site %d stuck on %s though a healthy site knows the outcome", id, txid)
 			case cfg.Protocol == engine.TwoPhase && !crashed && !hasPartition:
 				r.violate("2PC failed to resolve %s at site %d with no failures", txid, id)
@@ -405,8 +418,27 @@ func checkConsistency(c *cluster, snap map[string]map[int]view, r *Report) {
 }
 
 func finishReport(c *cluster, r *Report) {
+	paxosNoTermination(c, r)
 	r.Violations = append(r.Violations, c.failures...)
 	r.Steps = c.steps
 	r.Trace = c.trace
 	r.WALDigest = c.walDigest()
+}
+
+// paxosNoTermination asserts the headline Paxos Commit property on every
+// finished schedule: the cohort termination protocols — 3PC backup rounds
+// (TERM-STATE/TERM-ACK) and 2PC cooperative status queries
+// (STATUS-REQ/STATUS-RES) — are never exchanged. Coordinator death is
+// absorbed by the replicated decision (a survivor leads a higher ballot),
+// never by electing a backup to re-drive cohort state.
+func paxosNoTermination(c *cluster, r *Report) {
+	if c.cfg.Protocol != engine.PaxosCommit {
+		return
+	}
+	for _, m := range c.deliveries {
+		switch m.Kind {
+		case engine.KindTermState, engine.KindTermAck, engine.KindStatusReq, engine.KindStatusRes:
+			r.violate("termination protocol invoked under Paxos Commit: %s", m)
+		}
+	}
 }

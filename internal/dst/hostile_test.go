@@ -14,7 +14,7 @@ import (
 // curated table is checked, both protocols.
 func TestHostileScheduleDeterminism(t *testing.T) {
 	for _, sc := range HostileScenarios() {
-		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 			t.Run(sc.Name+"/"+proto.String(), func(t *testing.T) {
 				one := RunHostile(sc.Config(proto, 7))
 				two := RunHostile(sc.Config(proto, 7))
@@ -38,18 +38,20 @@ func TestHostileScheduleDeterminism(t *testing.T) {
 }
 
 // TestHostileScenariosSafety: across the curated table, no run may produce a
-// harness-level failure, and 2PC may block but must never split a decision.
+// harness-level failure (for Paxos that includes any termination-protocol
+// message), and only 3PC may ever split a decision — 2PC blocks instead, and
+// Paxos decides by majority consensus.
 func TestHostileScenariosSafety(t *testing.T) {
 	for _, sc := range HostileScenarios() {
-		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 			t.Run(sc.Name+"/"+proto.String(), func(t *testing.T) {
 				for seed := int64(1); seed <= 3; seed++ {
 					r := RunHostile(sc.Config(proto, seed))
 					if len(r.Violations) > r.SplitTxns {
 						t.Fatalf("seed %d harness failure: %v", seed, r.Violations[r.SplitTxns:])
 					}
-					if proto == engine.TwoPhase && r.SplitTxns > 0 {
-						t.Fatalf("seed %d: 2PC split a decision: %v", seed, r.Violations)
+					if proto != engine.ThreePhase && r.SplitTxns > 0 {
+						t.Fatalf("seed %d: %s split a decision: %v", seed, proto, r.Violations)
 					}
 				}
 			})
@@ -70,6 +72,7 @@ func TestCoordCrashBlockingGap(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		two := RunHostile(sc.Config(engine.TwoPhase, seed))
 		three := RunHostile(sc.Config(engine.ThreePhase, seed))
+		px := RunHostile(sc.Config(engine.PaxosCommit, seed))
 		if len(two.BlockedSites) > 0 {
 			twoBlocked++
 		}
@@ -79,6 +82,17 @@ func TestCoordCrashBlockingGap(t *testing.T) {
 		for _, txn := range three.Txns {
 			if !txn.Resolved {
 				t.Fatalf("seed %d: 3PC left %s unresolved", seed, txn.ID)
+			}
+		}
+		// Paxos survives the same coordinator crash without blocking and —
+		// checked by paxosNoTermination inside every run — without a single
+		// termination-protocol message: the survivors out-ballot the corpse.
+		if len(px.BlockedSites) > 0 {
+			t.Fatalf("seed %d: Paxos blocked at sites %v", seed, px.BlockedSites)
+		}
+		for _, txn := range px.Txns {
+			if !txn.Resolved {
+				t.Fatalf("seed %d: Paxos left %s unresolved", seed, txn.ID)
 			}
 		}
 	}

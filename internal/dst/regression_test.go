@@ -10,10 +10,9 @@ import "testing"
 func TestPinnedEngineBugs(t *testing.T) {
 	for _, rs := range RegressionScenarios() {
 		t.Run(rs.Name, func(t *testing.T) {
-			for i, r := range RunRegression(rs) {
-				seed := rs.Seeds[i]
+			for _, r := range RunRegression(rs) {
 				if len(r.Violations) != 0 {
-					t.Errorf("seed %d (%s): %v\nbug: %s", seed, rs.Protocol, r.Violations, rs.Bug)
+					t.Errorf("%s (%s): %v\nbug: %s", r.Scenario, rs.Protocol, r.Violations, rs.Bug)
 				}
 			}
 		})

@@ -5,6 +5,7 @@ import (
 
 	"nbcommit/internal/chaos"
 	"nbcommit/internal/engine"
+	"nbcommit/internal/wal"
 )
 
 // HostileScenario is one curated hostile environment: a topology, a timed
@@ -148,6 +149,10 @@ type RegressionScenario struct {
 	Bug      string
 	Protocol engine.ProtocolKind
 	Seeds    []int64
+	// Points replays enumerated single-crash schedules instead of seeded
+	// random ones — used where the edge is a precise crash instant (a WAL
+	// append) rather than a schedule the sweep happened to find.
+	Points []CrashPoint
 }
 
 // RegressionScenarios returns the five-bug pinning table.
@@ -178,6 +183,25 @@ func RegressionScenarios() []RegressionScenario {
 			Seeds:    []int64{596, 2543},
 		},
 		{
+			Name: "paxos-acceptor-recovery",
+			Bug: "an acceptor that crashes after forcing an accept record but before its 2b reaches the leader must rebuild the durable accept on recovery; " +
+				"the decision must remain learnable by any later ballot and consistent with what the acceptor promised",
+			Protocol: engine.PaxosCommit,
+			Points: []CrashPoint{
+				// The vote-yes record IS the ballot-0 self-accept of the
+				// site's own instance: crash the instant it is durable, with
+				// the PX-2B/PX-2A that would announce it still unsent.
+				{Site: 2, kind: afterAppend, Rec: wal.RecVoteYes, Nth: 1},
+				{Site: 3, kind: afterAppend, Rec: wal.RecVoteYes, Nth: 1},
+				// An accept taken from another instance's PX-2A, persisted
+				// with the 2b reply lost in the crash — at each participant
+				// and at the coordinator's co-located acceptor.
+				{Site: 1, kind: afterAppend, Rec: wal.RecPaxosAccept, Nth: 1},
+				{Site: 2, kind: afterAppend, Rec: wal.RecPaxosAccept, Nth: 1},
+				{Site: 3, kind: afterAppend, Rec: wal.RecPaxosAccept, Nth: 1},
+			},
+		},
+		{
 			Name:     "backup-protocol-drift",
 			Bug:      "late in-flight messages advanced a synced site past the backup's phase-1 snapshot; the backup must decide from the state it broadcast, and synced sites are fenced",
 			Protocol: engine.ThreePhase,
@@ -186,12 +210,15 @@ func RegressionScenarios() []RegressionScenario {
 	}
 }
 
-// RunRegression replays every seed of one pinned scenario, returning the
-// reports in seed order.
+// RunRegression replays every seed and enumerated crash point of one pinned
+// scenario, returning the reports in declaration order.
 func RunRegression(rs RegressionScenario) []Report {
 	var out []Report
 	for _, seed := range rs.Seeds {
 		out = append(out, RunRandom(Config{Protocol: rs.Protocol}, seed))
+	}
+	for _, cp := range rs.Points {
+		out = append(out, RunCrashPoint(Config{Protocol: rs.Protocol}, cp))
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 // Package dtx binds the commit engine to the kv store: a distributed
 // transaction manager in which a transaction reads and writes keys at
-// several sites and is then committed atomically with 2PC or 3PC.
+// several sites and is then committed atomically with 2PC, 3PC, or Paxos
+// Commit.
 //
 // The data plane is direct (the client applies operations to each site's
 // store as it executes); the commit protocol is what crosses the network.
@@ -89,7 +90,8 @@ func (p Paradigm) String() string {
 
 // Options configures a Cluster.
 type Options struct {
-	// Protocol selects 2PC or 3PC. Default ThreePhase.
+	// Protocol selects the commit protocol family (2PC, 3PC, or Paxos
+	// Commit). Default ThreePhase.
 	Protocol engine.ProtocolKind
 	// Paradigm selects central-site or decentralized commitment. Default
 	// CentralSite.

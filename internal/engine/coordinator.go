@@ -102,8 +102,15 @@ func (s *shard) onOwnVote(v voteResult) {
 		return
 	}
 	if v.err != nil {
+		// Unilateral abort is safe under every family — for Paxos Commit
+		// because the coordinator is its own instance's only ballot-0
+		// proposer and never proposed 'y', so commit is unreachable.
 		t.noVote = true
 		s.decideAbort(t)
+		return
+	}
+	if s.kind == PaxosCommit {
+		s.paxosOwnVote(t, v.redo)
 		return
 	}
 	t.redo = v.redo
@@ -114,8 +121,8 @@ func (s *shard) onOwnVote(v voteResult) {
 // maybeAllVotes advances when the coordinator holds a YES from every other
 // participant plus its own. Requires s.mu held.
 func (s *shard) maybeAllVotes(t *txState) {
-	if t.phase != phaseInit || !t.ownYes {
-		return
+	if t.phase != phaseInit || !t.ownYes || s.kind == PaxosCommit {
+		return // Paxos decides from 2b tallies, never from YES counting
 	}
 	for i, p := range t.meta.Participants {
 		if p != s.id && !t.votes.has(i) {
@@ -194,6 +201,16 @@ func (s *shard) decideAbort(t *txState) {
 // coordinatorTimeout fires when vote or ack collection stalls. Requires
 // s.mu held.
 func (s *shard) coordinatorTimeout(t *txState) {
+	if s.kind == PaxosCommit {
+		// The Paxos coordinator must NOT unilaterally abort on a stall:
+		// every instance may already be chosen 'y' at the acceptors with
+		// only the 2b messages lost, and a takeover leader would then
+		// decide commit. Escalate the ballot instead — phase 1 learns the
+		// durable truth and the decision comes out of consensus (free
+		// instances end in 'n', so a genuinely missing vote still aborts).
+		s.paxosEscalate(t)
+		return
+	}
 	switch t.phase {
 	case phaseInit:
 		// Missing votes: abort. A crashed or partitioned participant is
@@ -223,6 +240,10 @@ func (s *shard) coordinatorCrashCheck(t *txState, crashed int) {
 	}
 	idx := t.cohortIdx(crashed)
 	if idx < 0 {
+		return
+	}
+	if s.kind == PaxosCommit {
+		s.paxosLeaderCrashCheck(t, idx)
 		return
 	}
 	switch t.phase {

@@ -161,7 +161,7 @@ func TestShardedStress(t *testing.T) {
 // network and WAL — the engine twin of the internal/remote codec alloc
 // benchmarks. Guarded by the bench smoke's allocs/op threshold.
 func BenchmarkEngineCommitAllocs(b *testing.B) {
-	for _, kind := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+	for _, kind := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
 		b.Run(kind.String(), func(b *testing.B) {
 			net := transport.NewNetwork()
 			det := failure.NewOracle(net)

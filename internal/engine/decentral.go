@@ -22,6 +22,11 @@ const (
 // TxMeta.Coordinator is zero and any site's failure triggers the
 // termination protocol at the survivors.
 func (s *Site) BeginPeer(txid string, participants []int) error {
+	if s.kind == PaxosCommit {
+		// Paxos Commit is inherently coordinator-replicated; the symmetric
+		// peer rounds of the decentralized paradigm do not apply to it.
+		return fmt.Errorf("engine: site %d: Paxos Commit has no decentralized variant", s.id)
+	}
 	cohort := normalizeCohort(s.id, participants)
 	if len(cohort) > maxCohort {
 		return fmt.Errorf("engine: cohort of %d exceeds the %d-site limit", len(cohort), maxCohort)

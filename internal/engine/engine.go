@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,14 +46,40 @@ const (
 	TwoPhase ProtocolKind = iota
 	// ThreePhase is the central-site 3PC of slide 35 (nonblocking).
 	ThreePhase
+	// PaxosCommit replicates the coordinator's decision across 2F+1
+	// acceptors (Gray & Lamport, "Consensus on Transaction Commit"): one
+	// Paxos instance per participant's vote, nonblocking with 2PC-like
+	// latency. See paxos.go.
+	PaxosCommit
 )
 
 // String names the protocol.
 func (k ProtocolKind) String() string {
-	if k == ThreePhase {
+	switch k {
+	case ThreePhase:
 		return "3PC"
+	case PaxosCommit:
+		return "Paxos"
+	default:
+		return "2PC"
 	}
-	return "2PC"
+}
+
+// ParseProtocol maps a protocol name to its ProtocolKind. It accepts the
+// canonical flag spellings ("2pc", "3pc", "paxos") and the String() forms,
+// case-insensitively — the single parse table shared by kvnode, loadgen,
+// dst and every other protocol flag, so adding a protocol family is one
+// entry here.
+func ParseProtocol(name string) (ProtocolKind, error) {
+	switch strings.ToLower(name) {
+	case "2pc", "two-phase", "twophase":
+		return TwoPhase, nil
+	case "3pc", "three-phase", "threephase":
+		return ThreePhase, nil
+	case "paxos", "paxos-commit", "paxoscommit":
+		return PaxosCommit, nil
+	}
+	return 0, fmt.Errorf("engine: unknown protocol %q (want 2pc, 3pc, or paxos)", name)
 }
 
 // Outcome is the resolution of a transaction at a site.
@@ -121,6 +148,11 @@ const (
 	KindDecideReq = "DECIDE-REQ" // recovery: what happened to tx?
 	KindDecideRes = "DECIDE-RES" // reply: outcome if known
 	KindDecAck    = "DEC-ACK"    // participant: decision applied durably (GC)
+	KindPx1a      = "PX-1A"      // Paxos Commit: new leader's prepare (ballot)
+	KindPx1b      = "PX-1B"      // acceptor: promise + accepted vector
+	KindPx2a      = "PX-2A"      // proposer: accept this value for an instance
+	KindPx2b      = "PX-2B"      // acceptor: value accepted (to the leader)
+	KindPxNudge   = "PX-NUDGE"   // participant: wake the elected Paxos leader
 )
 
 // TxMeta describes a transaction's cohort; the coordinator ships it with
@@ -260,6 +292,7 @@ type txState struct {
 	peer       bool         // decentralized paradigm (no coordinator)
 	dvotes     map[int]byte // decentralized: vote round ('y'/'n' per site)
 	dprepares  map[int]bool // decentralized 3PC: prepare round
+	px         *paxosTx     // Paxos Commit: acceptor + leader state (paxos.go)
 
 	// timer is the transaction's single protocol/GC timer, an entry in the
 	// site's timer wheel; gen is its arm generation. Every (re-)arm and
@@ -306,7 +339,8 @@ type Config struct {
 	Resource Resource
 	// Detector reports site failures.
 	Detector failure.Detector
-	// Protocol selects 2PC or 3PC.
+	// Protocol selects the commit protocol family (2PC, 3PC, or Paxos
+	// Commit).
 	Protocol ProtocolKind
 	// Timeout bounds each wait for a protocol message before suspecting a
 	// failure and (for participants) invoking the termination protocol.
@@ -888,6 +922,16 @@ func (s *shard) handleMessage(m transport.Message) {
 		s.onDecideRes(m)
 	case KindDecAck:
 		s.onDecAck(m)
+	case KindPx1a:
+		s.onPx1a(m)
+	case KindPx1b:
+		s.onPx1b(m)
+	case KindPx2a:
+		s.onPx2a(m)
+	case KindPx2b:
+		s.onPx2b(m)
+	case KindPxNudge:
+		s.onPxNudge(m)
 	case KindDXact:
 		s.onDXact(m)
 	case KindDYes, KindDNo:

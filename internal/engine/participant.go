@@ -40,11 +40,17 @@ func (s *shard) onPrepareResult(v voteResult) {
 	if v.err != nil {
 		// Unilateral abort: vote NO (deadlock resolution, validation
 		// failure, ...), then abort immediately — the outcome is decided
-		// for us.
+		// for us. Safe under Paxos Commit too: this site is its own
+		// instance's only ballot-0 proposer and never proposed 'y', so
+		// commit is unreachable.
 		s.record("vote-no", t.id, v.err.Error())
 		s.mustLog(wal.Record{Type: wal.RecVoteNo, TxID: t.id})
 		s.send(t.meta.Coordinator, KindNo, t.id, nil)
 		s.resolve(t, OutcomeAborted)
+		return
+	}
+	if s.kind == PaxosCommit {
+		s.paxosVoteYes(t, v.redo)
 		return
 	}
 	t.redo = v.redo
@@ -155,14 +161,19 @@ func (s *shard) handleTimeout(txid string, gen uint64) {
 func (s *shard) participantTimeout(t *txState) {
 	if t.phase != phaseWait && t.phase != phasePrepared {
 		// A detached site in q only ever arms its timer when a termination
-		// attempt touched it (TERM-STATE); the timer expiring means the
-		// decision broadcast was lost — fall through and chase it.
-		if t.phase != phaseInit || !t.detached {
+		// attempt touched it (TERM-STATE) or it was engaged as a Paxos
+		// acceptor; the timer expiring means the decision broadcast was
+		// lost — fall through and chase it.
+		if t.phase != phaseInit || (!t.detached && t.px == nil) {
 			return
 		}
 	}
 	if t.recovering {
 		s.retryRecovery(t)
+		return
+	}
+	if s.kind == PaxosCommit {
+		s.paxosParticipantTimeout(t)
 		return
 	}
 	if t.meta.Coordinator != 0 && s.det.Alive(t.meta.Coordinator) {
@@ -218,6 +229,20 @@ func (s *shard) crashCheckTx(t *txState, site int) {
 	}
 	if t.recovering {
 		return // recovery resolves via DECIDE-REQ retries
+	}
+	if s.kind == PaxosCommit {
+		if t.px != nil && t.px.leading {
+			return // the ballot timer supervises quorum loss
+		}
+		// Coordinator death is the event Paxos Commit exists for: a
+		// survivor leads a higher ballot instead of running the cohort
+		// termination protocol. Bystander acceptors (detached, still in q)
+		// react too — they may be the elected takeover site.
+		if t.meta.Coordinator != 0 && !s.det.Alive(t.meta.Coordinator) &&
+			(t.phase == phaseWait || t.phase == phasePrepared || t.detached || t.px != nil) {
+			s.paxosTakeover(t)
+		}
+		return
 	}
 	if t.peer {
 		// Any cohort crash impairs the decentralized protocol.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nbcommit/internal/paxos"
 	"nbcommit/internal/transport"
 	"nbcommit/internal/wal"
 )
@@ -123,6 +124,53 @@ func Recover(cfg Config) (*Site, error) {
 		sh.mu.Unlock()
 	}
 
+	// Rebuild Paxos acceptor state by replaying the consensus records in
+	// log order — the promise/accept guards re-apply exactly as they were
+	// originally taken, so the rebuilt state equals the pre-crash state. At
+	// a Paxos site the vote-yes record doubles as the co-located ballot-0
+	// accept of the site's own instance. Transactions known only through
+	// acceptor records (this site never executed them) are chased after
+	// start so a decision broadcast lost in the crash cannot strand them.
+	chase := map[string]bool{}
+	for _, r := range recs {
+		isPaxos := r.Type == wal.RecPaxosPromise || r.Type == wal.RecPaxosAccept
+		if !isPaxos && !(r.Type == wal.RecVoteYes && cfg.Protocol == PaxosCommit) {
+			continue
+		}
+		sh := s.shardFor(r.TxID)
+		sh.mu.Lock()
+		t := sh.tx(r.TxID)
+		known := len(t.meta.Participants) > 0
+		switch r.Type {
+		case wal.RecPaxosPromise:
+			if bal, mb, err := paxos.DecodePromise(r.Payload); err == nil {
+				if !known {
+					known = adoptPaxosMeta(t, mb)
+				}
+				if known {
+					sh.ensurePaxos(t).acc.Promise(bal)
+				}
+			}
+		case wal.RecPaxosAccept:
+			if bal, inst, val, mb, err := paxos.DecodeP2a(r.Payload); err == nil {
+				if !known {
+					known = adoptPaxosMeta(t, mb)
+				}
+				if known {
+					sh.ensurePaxos(t).acc.Accept(bal, inst, val)
+				}
+			}
+		case wal.RecVoteYes:
+			if me := t.cohortIdx(s.id); known && me >= 0 {
+				sh.ensurePaxos(t).acc.Accept(0, me, paxos.ValYes)
+			}
+		}
+		if t.px != nil && !t.resolved() && !t.recovering {
+			chase[r.TxID] = true
+		}
+		sh.mu.Unlock()
+	}
+
 	s.Start()
 
 	// Post-start actions go through the normal send path, each under its
@@ -138,6 +186,21 @@ func Recover(cfg Config) (*Site, error) {
 		sh.mu.Lock()
 		sh.queryOutcome(t)
 		sh.mu.Unlock()
+	}
+	if len(chase) > 0 {
+		cids := make([]string, 0, len(chase))
+		for id := range chase {
+			cids = append(cids, id)
+		}
+		sort.Strings(cids)
+		for _, id := range cids {
+			sh := s.shardFor(id)
+			sh.mu.Lock()
+			if t, ok := sh.txns[id]; ok && !t.resolved() && !t.recovering {
+				sh.armTimer(t, sh.protoTimeout())
+			}
+			sh.mu.Unlock()
+		}
 	}
 	if s.forget > 0 {
 		// Resume garbage collection for resolved transactions that survived
@@ -237,6 +300,10 @@ func (s *shard) onDecideRes(m transport.Message) {
 			t.excluded = map[int]bool{}
 		}
 		t.excluded[m.From] = true
+		if s.kind == PaxosCommit {
+			s.paxosTakeover(t) // re-elect the takeover leader without it
+			return
+		}
 		s.startTermination(t)
 	}
 }

@@ -21,6 +21,13 @@ func (s *shard) startTermination(t *txState) {
 	if t.resolved() || t.recovering {
 		return
 	}
+	if s.kind == PaxosCommit {
+		// Paxos Commit never runs the cohort termination protocol: the
+		// decision is replicated across the acceptors, so a takeover ballot
+		// replaces the TERM-STATE/TERM-ACK synchronization entirely.
+		s.paxosTakeover(t)
+		return
+	}
 	if s.kind == TwoPhase {
 		s.startCooperative(t)
 		return

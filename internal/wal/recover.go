@@ -83,6 +83,13 @@ type TxImage struct {
 func Replay(recs []Record) map[string]*TxImage {
 	out := map[string]*TxImage{}
 	for _, r := range recs {
+		if r.Type == RecPaxosPromise || r.Type == RecPaxosAccept {
+			// Paxos consensus records carry acceptor state, not a protocol
+			// image; the engine rebuilds them from the raw records. Folding
+			// them here would clobber Last, which in-doubt recovery decodes
+			// as the vote payload.
+			continue
+		}
 		img, ok := out[r.TxID]
 		if !ok {
 			img = &TxImage{TxID: r.TxID}

@@ -54,6 +54,12 @@ const (
 	// RecEnd marks that a transaction's effects have been applied and its
 	// protocol state may be garbage collected.
 	RecEnd
+	// RecPaxosPromise marks a Paxos Commit acceptor promising a ballot
+	// (forced before the 1b reply leaves the site).
+	RecPaxosPromise
+	// RecPaxosAccept marks a Paxos Commit acceptor accepting an instance
+	// value (forced before the 2b reply leaves the site).
+	RecPaxosAccept
 )
 
 // String names the record type.
@@ -73,6 +79,10 @@ func (t RecordType) String() string {
 		return "aborted"
 	case RecEnd:
 		return "end"
+	case RecPaxosPromise:
+		return "paxos-promise"
+	case RecPaxosAccept:
+		return "paxos-accept"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
