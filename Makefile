@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-allocs bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
+.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-readmix-smoke bench-allocs bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
 
 all: build vet test
 
@@ -42,14 +42,23 @@ dst-regress:
 	$(GO) run ./cmd/dst -regress
 
 # Closed-loop commit throughput: 64 clients against a 3-node in-process
-# cluster, 2PC and 3PC, group commit on and off, fsync enabled. Emits
-# BENCH_commit_throughput.json.
+# cluster, 2PC, 3PC and Paxos Commit, group commit on and off, fsync enabled;
+# then the 90/10 read-mix matrix comparing snapshot fast-path reads against
+# protocol-enlisted reads (single-shard snapshot reads must sustain >=5x the
+# protocol-read rate). Emits BENCH_commit_throughput.json.
 bench-throughput:
-	$(GO) run ./cmd/loadgen -clients 64 -duration 5s -out BENCH_commit_throughput.json
+	$(GO) run ./cmd/loadgen -clients 64 -duration 5s -read-ratio 0.9 \
+		-out BENCH_commit_throughput.json
 
 # Short smoke for CI: same harness, small load, throwaway output.
 bench-throughput-smoke:
 	$(GO) run ./cmd/loadgen -clients 8 -duration 500ms -warmup 200ms -out /tmp/bench-smoke.json
+
+# Read-mix smoke for CI: small 90/10 zipf-skewed mix, both read paths, all
+# three protocols, with the version-chain GC loop running throughout.
+bench-readmix-smoke:
+	$(GO) run ./cmd/loadgen -clients 8 -duration 500ms -warmup 200ms \
+		-read-ratio 0.9 -zipf 1.2 -keys 500 -out /tmp/readmix-smoke.json
 
 # Allocation regression guard for the engine hot path: a full three-site
 # commit (Begin through coordinator decision, in-memory substrate) must stay

@@ -61,6 +61,7 @@ func main() {
 		tpCodec    = flag.String("transport-codec", "binary", "wire codec for outbound cluster messages: binary or gob (inbound auto-detects)")
 		tpNoCoal   = flag.Bool("transport-no-coalesce", false, "write queued messages one per syscall instead of coalescing batches")
 		tpQueue    = flag.Int("transport-queue", 0, "per-peer outbound queue capacity; a full queue drops, crash-stop style (0: default)")
+		gcEvery    = flag.Duration("gc-every", 5*time.Second, "version-chain GC interval; superseded versions below the stable timestamp and all snapshot pins are dropped (0: never)")
 	)
 	flag.Parse()
 	if *walPath == "" {
@@ -221,6 +222,17 @@ func main() {
 	}
 
 	store := kv.NewStore(kv.Options{LockTimeout: 250 * time.Millisecond})
+	reg.Help("kv_mvcc_keys", "Keys with at least one committed version.")
+	reg.GaugeFunc("kv_mvcc_keys", func() float64 { k, _ := store.VersionStats(); return float64(k) })
+	reg.Help("kv_mvcc_versions", "Committed versions retained across all keys (GC trims below the stable timestamp).")
+	reg.GaugeFunc("kv_mvcc_versions", func() float64 { _, v := store.VersionStats(); return float64(v) })
+	if *gcEvery > 0 {
+		go func() {
+			for range time.Tick(*gcEvery) {
+				store.GC()
+			}
+		}()
+	}
 	server := &remote.Server{
 		Store: store, Send: ep.Send, Map: smap,
 		Paradigm: *paradigm, CommitWait: 20 * *timeout,
@@ -266,6 +278,7 @@ func main() {
 			Registry: reg,
 			Trace:    recorder,
 			Health: func() map[string]any {
+				keys, versions := store.VersionStats()
 				return map[string]any{
 					"site":          *id,
 					"protocol":      kind.String(),
@@ -274,6 +287,13 @@ func main() {
 					"shard_version": smap.Version,
 					"in_doubt":      len(site.InDoubt()),
 					"tracked_txns":  len(site.Transactions()),
+					// MVCC read-path state: where snapshot reads land
+					// (stable_ts), the oldest unresolved prepare holding it
+					// back (watermark, 0 when none), and chain bulk.
+					"stable_ts":     store.StableTS(),
+					"watermark":     store.Watermark(),
+					"mvcc_keys":     keys,
+					"mvcc_versions": versions,
 				}
 			},
 		})

@@ -94,6 +94,12 @@ type report struct {
 	Speedup2PC   float64        `json:"speedup_2pc"` // group vs fsync-per-record
 	Speedup3PC   float64        `json:"speedup_3pc"`
 	SpeedupPaxos float64        `json:"speedup_paxos"`
+	// ReadMix holds the read/write-mix cells (-read-ratio > 0): for each
+	// protocol, the identical workload with protocol-enlisted reads and with
+	// snapshot fast-path reads. ReadFastPath summarizes the comparison per
+	// protocol.
+	ReadMix      []readMixResult           `json:"read_mix,omitempty"`
+	ReadFastPath map[string]readMixSummary `json:"read_fastpath,omitempty"`
 }
 
 func main() {
@@ -113,6 +119,10 @@ func main() {
 		protoFlag  = flag.String("proto", "3pc", "scaleout: commit protocol (2pc, 3pc, or paxos)")
 		chaosSeeds = flag.Int("chaos-seeds", 25, "chaos: seeds per (scenario, protocol) cell")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering every scenario run")
+		readRatio  = flag.Float64("read-ratio", 0, "throughput: fraction of operations that are reads (0 skips the read-mix matrix); each protocol runs the mix once with protocol-enlisted reads and once with snapshot fast-path reads")
+		zipfS      = flag.Float64("zipf", 1.1, "throughput read-mix: zipf skew parameter for read keys (<=1 means uniform)")
+		arrival    = flag.Float64("arrival-rate", 0, "throughput read-mix: total open-loop arrivals/s across all clients (0 = closed loop)")
+		keyCount   = flag.Int("keys", 1000, "throughput read-mix: prepopulated keyspace size")
 	)
 	flag.Parse()
 
@@ -207,6 +217,26 @@ func main() {
 	rep.SpeedupPaxos = speedup(rep.Scenarios, "Paxos")
 	fmt.Printf("group-commit speedup: 2PC %.2fx, 3PC %.2fx, Paxos %.2fx\n",
 		rep.Speedup2PC, rep.Speedup3PC, rep.SpeedupPaxos)
+
+	if *readRatio > 0 {
+		mix, summary, err := runReadMix(readMixConfig{
+			clients:     *clients,
+			duration:    *duration,
+			warmup:      *warmup,
+			forget:      *forget,
+			shards:      *shards,
+			base:        base,
+			readRatio:   *readRatio,
+			zipfS:       *zipfS,
+			arrivalRate: *arrival,
+			keys:        *keyCount,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: read-mix: %v", err)
+		}
+		rep.ReadMix = mix
+		rep.ReadFastPath = summary
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,314 @@
+package main
+
+// Read-mix benchmark: the same 3-node cluster as -mode throughput, but the
+// workload is a read/write mix (-read-ratio) over a prepopulated keyspace
+// with optional zipf skew (-zipf) and optional open-loop arrivals
+// (-arrival-rate). Every (protocol, read-path) cell runs the identical
+// workload twice:
+//
+//   - protocol: every read is a keyed single-shard transaction — Begin,
+//     shared-lock GET, then the full commit protocol (WAL force, vote and
+//     decision rounds), the pre-MVCC behavior;
+//   - snapshot: every read is a read-only fast-path transaction — a pinned
+//     stable snapshot read, no locks, no protocol messages, no WAL.
+//
+// The per-protocol summary reports the read-throughput speedup and the
+// write-commit-rate delta the fast path buys (writes stop queueing behind
+// read locks and protocol traffic).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbcommit/internal/dtx"
+	"nbcommit/internal/engine"
+	"nbcommit/internal/kv"
+	"nbcommit/internal/metrics"
+)
+
+const (
+	readPathSnapshot = "snapshot"
+	readPathProtocol = "protocol"
+)
+
+type readMixResult struct {
+	Protocol    string  `json:"protocol"`
+	ReadPath    string  `json:"read_path"` // "snapshot" or "protocol"
+	Clients     int     `json:"clients"`
+	ReadRatio   float64 `json:"read_ratio"`
+	ZipfS       float64 `json:"zipf_s"`       // 0: uniform key choice
+	ArrivalRate float64 `json:"arrival_rate"` // ops/s; 0: closed loop
+	Keys        int     `json:"keys"`
+	DurationS   float64 `json:"duration_s"`
+
+	Reads       int64   `json:"reads"`
+	ReadErrors  int64   `json:"read_errors"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	ReadP50Ms   float64 `json:"read_p50_ms"`
+	ReadP99Ms   float64 `json:"read_p99_ms"`
+
+	Commits       int64   `json:"commits"`
+	Aborts        int64   `json:"aborts"`
+	Errors        int64   `json:"errors"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	WriteP50Ms    float64 `json:"write_p50_ms"`
+	WriteP99Ms    float64 `json:"write_p99_ms"`
+}
+
+// readMixSummary compares the two read paths for one protocol.
+type readMixSummary struct {
+	// ReadSpeedup is snapshot reads/s over protocol-enlisted reads/s — the
+	// acceptance bar for the fast path is >=5x at 64 clients, 90/10 mix.
+	ReadSpeedup float64 `json:"read_speedup"`
+	// CommitRateDelta is the write commits/s ratio (snapshot mode over
+	// protocol mode): how much write throughput the fast path frees up.
+	CommitRateDelta float64 `json:"commit_rate_delta"`
+}
+
+type readMixConfig struct {
+	clients     int
+	duration    time.Duration
+	warmup      time.Duration
+	forget      time.Duration
+	shards      int
+	base        string
+	readRatio   float64
+	zipfS       float64
+	arrivalRate float64
+	keys        int
+}
+
+// runReadMix executes the read-mix matrix (3 protocols x 2 read paths, group
+// WAL) and returns the per-cell results plus the per-protocol comparison.
+func runReadMix(cfg readMixConfig) ([]readMixResult, map[string]readMixSummary, error) {
+	var results []readMixResult
+	summary := map[string]readMixSummary{}
+	for _, proto := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
+		var perPath [2]*readMixResult
+		for i, path := range []string{readPathProtocol, readPathSnapshot} {
+			res, err := runReadMixScenario(proto, path, cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s %s reads: %w", proto, path, err)
+			}
+			results = append(results, *res)
+			perPath[i] = res
+			fmt.Printf("%-5s %-9s reads %9.0f/s  p50 %7.3fms  p99 %7.3fms  |  writes %7.0f commits/s\n",
+				res.Protocol, res.ReadPath, res.ReadsPerSec, res.ReadP50Ms, res.ReadP99Ms, res.CommitsPerSec)
+		}
+		s := readMixSummary{}
+		if perPath[0].ReadsPerSec > 0 {
+			s.ReadSpeedup = perPath[1].ReadsPerSec / perPath[0].ReadsPerSec
+		}
+		if perPath[0].CommitsPerSec > 0 {
+			s.CommitRateDelta = perPath[1].CommitsPerSec / perPath[0].CommitsPerSec
+		}
+		summary[proto.String()] = s
+		fmt.Printf("%-5s snapshot-vs-protocol reads: %.1fx read throughput, %.2fx write commit rate\n",
+			proto, s.ReadSpeedup, s.CommitRateDelta)
+	}
+	return results, summary, nil
+}
+
+func runReadMixScenario(proto engine.ProtocolKind, path string, cfg readMixConfig) (*readMixResult, error) {
+	dir, err := os.MkdirTemp(cfg.base, fmt.Sprintf("readmix-%s-%s-", proto, path))
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cluster, err := dtx.NewCluster(3, dtx.Options{
+		Protocol:    proto,
+		Timeout:     500 * time.Millisecond,
+		LockTimeout: time.Second,
+		Dir:         dir,
+		SyncWAL:     true,
+		ForgetAfter: cfg.forget,
+		Shards:      cfg.shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	// Prepopulate the keyspace at each key's owner site, below any
+	// transaction (the redo path stamps committed versions directly).
+	keys := make([]string, cfg.keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%05d", i)
+		owner := cluster.Router().Site(keys[i])
+		cluster.Node(owner).Store.ApplyRedo([]kv.WriteOp{{Key: keys[i], Value: "v0"}})
+	}
+
+	var (
+		readHist   metrics.Histogram
+		writeHist  metrics.Histogram
+		reads      atomic.Int64
+		readErrs   atomic.Int64
+		commits    atomic.Int64
+		aborts     atomic.Int64
+		errsN      atomic.Int64
+		measuring  atomic.Bool
+		stop       atomic.Bool
+		inFlightWG sync.WaitGroup
+	)
+
+	// Version-chain GC runs throughout, as a kvnode would run it: the bench
+	// doubles as a GC-under-load exercise (the CI smoke runs it under -race).
+	gcDone := make(chan struct{})
+	go func() {
+		defer close(gcDone)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			for _, id := range cluster.IDs() {
+				cluster.Node(id).Store.GC()
+			}
+		}
+	}()
+
+	doRead := func(key string) {
+		start := time.Now()
+		var err error
+		if path == readPathSnapshot {
+			ro := cluster.BeginReadOnly()
+			_, err = ro.GetK(key)
+			ro.Close()
+		} else {
+			t := cluster.BeginKeyed()
+			if _, err = t.GetK(key); err != nil {
+				_ = t.Abort()
+			} else {
+				var o engine.Outcome
+				o, err = t.Commit(10 * time.Second)
+				if err == nil && o != engine.OutcomeCommitted {
+					err = fmt.Errorf("read transaction %v", o)
+				}
+			}
+		}
+		if !measuring.Load() {
+			return
+		}
+		if err != nil {
+			readErrs.Add(1)
+			return
+		}
+		reads.Add(1)
+		readHist.Observe(time.Since(start))
+	}
+	doWrite := func(key string, seq int) {
+		t := cluster.BeginKeyed()
+		start := time.Now()
+		var o engine.Outcome
+		err := t.PutK(key, fmt.Sprintf("v%d", seq))
+		if err != nil {
+			_ = t.Abort()
+		} else {
+			o, err = t.Commit(10 * time.Second)
+		}
+		if !measuring.Load() {
+			return
+		}
+		switch {
+		case err != nil || o == engine.OutcomePending:
+			errsN.Add(1)
+		case o == engine.OutcomeCommitted:
+			commits.Add(1)
+			writeHist.Observe(time.Since(start))
+		default:
+			aborts.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			var zipf *rand.Zipf
+			if cfg.zipfS > 1 {
+				zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(len(keys)-1))
+			}
+			pick := func() string {
+				if zipf != nil {
+					return keys[zipf.Uint64()]
+				}
+				return keys[rng.Intn(len(keys))]
+			}
+			// Open-loop mode: ops are launched on an exponential arrival
+			// schedule regardless of completion, so queueing delay shows up
+			// in the latency histograms instead of throttling the offered
+			// load (closed-loop coordinated omission).
+			perClientRate := cfg.arrivalRate / float64(cfg.clients)
+			next := time.Now()
+			for i := 0; !stop.Load(); i++ {
+				isRead := rng.Float64() < cfg.readRatio
+				var key string
+				if isRead {
+					key = pick()
+				} else {
+					key = keys[rng.Intn(len(keys))]
+				}
+				if perClientRate > 0 {
+					next = next.Add(time.Duration(rng.ExpFloat64() / perClientRate * float64(time.Second)))
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					inFlightWG.Add(1)
+					go func(i int) {
+						defer inFlightWG.Done()
+						if isRead {
+							doRead(key)
+						} else {
+							doWrite(key, i)
+						}
+					}(i)
+					continue
+				}
+				if isRead {
+					doRead(key)
+				} else {
+					doWrite(key, i)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(cfg.warmup)
+	measuring.Store(true)
+	measureStart := time.Now()
+	time.Sleep(cfg.duration)
+	measuring.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	inFlightWG.Wait()
+	<-gcDone
+
+	return &readMixResult{
+		Protocol:      proto.String(),
+		ReadPath:      path,
+		Clients:       cfg.clients,
+		ReadRatio:     cfg.readRatio,
+		ZipfS:         cfg.zipfS,
+		ArrivalRate:   cfg.arrivalRate,
+		Keys:          cfg.keys,
+		DurationS:     elapsed.Seconds(),
+		Reads:         reads.Load(),
+		ReadErrors:    readErrs.Load(),
+		ReadsPerSec:   float64(reads.Load()) / elapsed.Seconds(),
+		ReadP50Ms:     ms2(readHist.Quantile(0.50)),
+		ReadP99Ms:     ms2(readHist.Quantile(0.99)),
+		Commits:       commits.Load(),
+		Aborts:        aborts.Load(),
+		Errors:        errsN.Load(),
+		CommitsPerSec: float64(commits.Load()) / elapsed.Seconds(),
+		WriteP50Ms:    ms2(writeHist.Quantile(0.50)),
+		WriteP99Ms:    ms2(writeHist.Quantile(0.99)),
+	}, nil
+}

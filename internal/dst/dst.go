@@ -52,6 +52,13 @@ type Config struct {
 	Horizon time.Duration
 	// MaxSteps bounds scheduler steps per run. Default 50000.
 	MaxSteps int
+
+	// mkResource, when set, builds each site's engine resource in place of
+	// the synthetic instant resource — the snapshot harness plugs in real
+	// multi-version kv stores here. It is called again on recovery with a
+	// fresh resource expected: volatile store state dies with the site and
+	// is rebuilt from the WAL redo images, exactly as in production.
+	mkResource func(site int, clk clock.Clock) engine.Resource
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +190,7 @@ type cluster struct {
 	sites map[int]*engine.Site
 	logs  map[int]*crashLog
 	res   map[int]*resource
+	kres  map[int]engine.Resource // cfg.mkResource-built resources, if any
 	ids   []int
 	txids []string
 
@@ -210,6 +218,7 @@ func newCluster(cfg Config, cp *CrashPoint) *cluster {
 		sites:       map[int]*engine.Site{},
 		logs:        map[int]*crashLog{},
 		res:         map[int]*resource{},
+		kres:        map[int]engine.Resource{},
 		down:        map[int]bool{},
 		everCrashed: map[int]bool{},
 		delivered:   map[int]int{},
@@ -225,6 +234,9 @@ func newCluster(cfg Config, cp *CrashPoint) *cluster {
 		}
 		c.logs[id] = &crashLog{inner: wal.NewMemoryLog(), c: c, site: id, trig: trig, seen: map[wal.RecordType]int{}}
 		c.res[id] = newResource()
+		if cfg.mkResource != nil {
+			c.kres[id] = cfg.mkResource(id, c.clk)
+		}
 		c.startSite(id)
 	}
 	return c
@@ -239,12 +251,21 @@ func (c *cluster) timeoutFor(id int) time.Duration {
 	return c.cfg.Timeout
 }
 
+// resourceFor picks a site's engine resource: the mkResource-built one when
+// the harness supplies real stores, the synthetic instant one otherwise.
+func (c *cluster) resourceFor(id int) engine.Resource {
+	if r, ok := c.kres[id]; ok {
+		return r
+	}
+	return c.res[id]
+}
+
 func (c *cluster) startSite(id int) {
 	s, err := engine.New(engine.Config{
 		ID:            id,
 		Endpoint:      c.net.Endpoint(id),
 		Log:           c.logs[id],
-		Resource:      c.res[id],
+		Resource:      c.resourceFor(id),
 		Detector:      c.net,
 		Protocol:      c.cfg.Protocol,
 		Timeout:       c.timeoutFor(id),
@@ -322,12 +343,15 @@ func (c *cluster) recoverSite(site int) {
 	c.tracef("recover site %d", site)
 	c.down[site] = false
 	c.res[site] = newResource()
+	if c.cfg.mkResource != nil {
+		c.kres[site] = c.cfg.mkResource(site, c.clk)
+	}
 	c.logs[site] = &crashLog{inner: c.logs[site].inner, c: c, site: site, seen: map[wal.RecordType]int{}}
 	s, err := engine.Recover(engine.Config{
 		ID:            site,
 		Endpoint:      c.net.Endpoint(site),
 		Log:           c.logs[site],
-		Resource:      c.res[site],
+		Resource:      c.resourceFor(site),
 		Detector:      c.net,
 		Protocol:      c.cfg.Protocol,
 		Timeout:       c.timeoutFor(site),

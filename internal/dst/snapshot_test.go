@@ -1,0 +1,95 @@
+package dst
+
+import (
+	"testing"
+
+	"nbcommit/internal/engine"
+)
+
+// TestSnapshotConsistencyUnderCrashPoints is the MVCC acceptance gate: for
+// every protocol family, every enumerated single-crash schedule of the
+// kv-backed workload must keep stable snapshots consistent — never torn,
+// never above the in-doubt watermark, never showing an aborted write set —
+// while the usual protocol invariants (agreement, post-recovery liveness)
+// continue to hold.
+func TestSnapshotConsistencyUnderCrashPoints(t *testing.T) {
+	for _, kind := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			reports := ExploreSnapshotCrashPoints(Config{Protocol: kind})
+			if len(reports) == 0 {
+				t.Fatal("no crash points enumerated")
+			}
+			failed := 0
+			for _, r := range reports {
+				for _, v := range r.Violations {
+					t.Errorf("%s: %s", r.Scenario, v)
+				}
+				if len(r.Violations) > 0 {
+					failed++
+					if failed >= 5 {
+						t.Fatalf("%d of %d schedules violated; stopping early", failed, len(reports))
+					}
+				}
+			}
+			t.Logf("%s: %d crash-point schedules, all snapshot-consistent", kind, len(reports))
+		})
+	}
+}
+
+// TestSnapshotSamplesInDoubtWindow guards the watermark invariant against
+// vacuity: across the enumeration, at least one schedule must sample a store
+// while it holds an unresolved prepare — the exact window (between Prepare
+// and decision-apply) the invariant exists for.
+func TestSnapshotSamplesInDoubtWindow(t *testing.T) {
+	for _, kind := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase, engine.PaxosCommit} {
+		cfg := Config{Protocol: kind}.withDefaults()
+		refHarness := newSnapHarness()
+		ref := cfg
+		ref.mkResource = refHarness.mkResource
+		inDoubt := 0
+		for _, cp := range enumerateCrashPointsFrom(ref, refHarness.launch) {
+			h := newSnapHarness()
+			run := cfg
+			run.mkResource = h.mkResource
+			r, c := runCrashPointFrom(run, cp, h.launch)
+			h.finalCheck(c, &r)
+			inDoubt += h.inDoubtSamples
+		}
+		if inDoubt == 0 {
+			t.Errorf("%s: no schedule ever sampled a snapshot with an in-doubt prepare outstanding", kind)
+		} else {
+			t.Logf("%s: %d samples taken inside the in-doubt window", kind, inDoubt)
+		}
+	}
+}
+
+// TestSnapshotFaultFree pins the harness itself on the easy schedule: with
+// no crash at all, both transactions resolve, t1's pair becomes visible
+// everywhere, t2's never does, and sampling produced zero wire traffic.
+func TestSnapshotFaultFree(t *testing.T) {
+	h := newSnapHarness()
+	cfg := Config{Protocol: engine.ThreePhase}.withDefaults()
+	cfg.mkResource = h.mkResource
+	c := newCluster(cfg, nil)
+	r := Report{Scenario: "fault-free", Protocol: cfg.Protocol}
+	if err := h.launch(c); err != nil {
+		t.Fatal(err)
+	}
+	c.run(nil)
+	checkConsistency(c, c.snapshot(), &r)
+	h.finalCheck(c, &r)
+	if h.samples == 0 {
+		t.Fatal("observer never ran")
+	}
+	if len(h.visible["t1"]) != cfg.Sites {
+		t.Errorf("t1 visible at %d sites, want %d", len(h.visible["t1"]), cfg.Sites)
+	}
+	if len(h.visible["t2"]) != 0 {
+		t.Errorf("aborted t2 was visible at sites %v", h.visible["t2"])
+	}
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}

@@ -60,6 +60,13 @@ func (r StoreResource) ApplyRedo(redo []byte) error {
 	return nil
 }
 
+// CommitTS and Watermark make StoreResource an engine.VersionedResource, so
+// the engine publishes the store's apply progress and in-doubt bound.
+func (r StoreResource) CommitTS() uint64 { return r.Store.CommitTS() }
+
+// Watermark reports the store's oldest in-doubt prepare timestamp.
+func (r StoreResource) Watermark() uint64 { return r.Store.Watermark() }
+
 // Node is one site: a store, its WAL, and the commit engine.
 type Node struct {
 	ID    int
@@ -429,6 +436,69 @@ func (t *Txn) Commit(timeout time.Duration) (engine.Outcome, error) {
 		}
 	}
 	return o, nil
+}
+
+// ROTxn is a read-only transaction on the snapshot fast path: every read is
+// served from a pinned multi-version snapshot of its site, it never takes
+// locks, never enlists in the commit protocol, and "commits" without a
+// single protocol message — Begin/Prepare are skipped entirely. Per-site
+// snapshots are pinned lazily on first touch and released by Close. Not safe
+// for concurrent use by multiple goroutines.
+//
+// Consistency: each site's snapshot is stable (below that site's in-doubt
+// watermark), so a read never observes a torn or undecided write set at any
+// site. Snapshots at different sites are pinned independently — the paper's
+// model has no global timestamp to align them.
+type ROTxn struct {
+	ID    string
+	c     *Cluster
+	snaps map[int]uint64
+	done  bool
+}
+
+// BeginReadOnly starts a read-only transaction on the snapshot fast path.
+func (c *Cluster) BeginReadOnly() *ROTxn {
+	return &ROTxn{
+		ID:    fmt.Sprintf("ro-%d", c.txSeq.Add(1)),
+		c:     c,
+		snaps: map[int]uint64{},
+	}
+}
+
+// GetK reads a key at its owner site from the transaction's snapshot.
+func (t *ROTxn) GetK(key string) (string, error) { return t.Get(t.c.router.Site(key), key) }
+
+// Get reads a key at a site from the transaction's snapshot, pinning the
+// site's stable timestamp on first touch.
+func (t *ROTxn) Get(site int, key string) (string, error) {
+	if t.done {
+		return "", fmt.Errorf("dtx: read-only transaction %s already finished", t.ID)
+	}
+	n := t.c.Node(site)
+	if n == nil {
+		return "", fmt.Errorf("dtx: no site %d", site)
+	}
+	ts, ok := t.snaps[site]
+	if !ok {
+		ts = n.Store.AcquireSnapshot()
+		t.snaps[site] = ts
+	}
+	return n.Store.ReadAt(ts, key)
+}
+
+// Close releases the pinned snapshots. A read-only transaction needs no
+// commit: its snapshot was consistent by construction, so Close is both
+// commit and abort. Idempotent.
+func (t *ROTxn) Close() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for site, ts := range t.snaps {
+		if n := t.c.Node(site); n != nil {
+			n.Store.ReleaseSnapshot(ts)
+		}
+	}
 }
 
 // Abort rolls the transaction back at every touched site without running the

@@ -1,0 +1,130 @@
+package dtx
+
+import (
+	"errors"
+	"testing"
+
+	"nbcommit/internal/engine"
+	"nbcommit/internal/kv"
+)
+
+// TestReadOnlyTxnFastPath: a read-only transaction reads a pinned snapshot
+// per site, never enlists in the commit protocol, and leaves no transaction
+// state anywhere.
+func TestReadOnlyTxnFastPath(t *testing.T) {
+	c := newTestCluster(t, 3, engine.TwoPhase)
+	defer c.Stop()
+
+	w, err := c.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(1, "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(2, "y", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if o, err := w.Commit(waitLong); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("seed commit: %v %v", o, err)
+	}
+
+	ro := c.BeginReadOnly()
+	if v, err := ro.Get(1, "x"); err != nil || v != "1" {
+		t.Fatalf("ro read x = %q, %v", v, err)
+	}
+	if v, err := ro.Get(2, "y"); err != nil || v != "1" {
+		t.Fatalf("ro read y = %q, %v", v, err)
+	}
+
+	// Overwrite both keys while the read-only transaction is open: its view
+	// must not move.
+	w2, err := c.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Put(1, "x", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Put(2, "y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if o, err := w2.Commit(waitLong); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("overwrite commit: %v %v", o, err)
+	}
+	if v, err := ro.Get(1, "x"); err != nil || v != "1" {
+		t.Fatalf("pinned read x moved: %q, %v", v, err)
+	}
+	if v, err := ro.Get(2, "y"); err != nil || v != "1" {
+		t.Fatalf("pinned read y moved: %q, %v", v, err)
+	}
+
+	// The fast path skipped Begin/Prepare everywhere: no engine record, no
+	// store enlistment for the read-only transaction at any site.
+	for _, id := range c.IDs() {
+		n := c.Node(id)
+		for _, tx := range n.Site.Transactions() {
+			if tx == ro.ID {
+				t.Fatalf("site %d engine tracked %s", id, ro.ID)
+			}
+		}
+		for _, tx := range n.Store.Pending() {
+			if tx == ro.ID {
+				t.Fatalf("site %d store enlisted %s", id, ro.ID)
+			}
+		}
+	}
+
+	ro.Close()
+	if _, err := ro.Get(1, "x"); err == nil {
+		t.Fatal("read after Close succeeded")
+	}
+
+	// A fresh snapshot sees the new values; snapshot reads coexist with an
+	// in-flight writer holding exclusive locks.
+	w3, err := c.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Put(1, "x", "3"); err != nil {
+		t.Fatal(err)
+	}
+	ro2 := c.BeginReadOnly()
+	defer ro2.Close()
+	if v, err := ro2.Get(1, "x"); err != nil || v != "2" {
+		t.Fatalf("snapshot under writer lock = %q, %v", v, err)
+	}
+	if _, err := ro2.Get(1, "missing"); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := w3.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadOnlyKeyedRouting: GetK routes snapshot reads through the shard map
+// like every other keyed verb.
+func TestReadOnlyKeyedRouting(t *testing.T) {
+	c := newTestCluster(t, 3, engine.ThreePhase)
+	defer c.Stop()
+
+	w := c.BeginKeyed()
+	if err := w.PutK("alpha", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutK("beta", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if o, err := w.Commit(waitLong); err != nil || o != engine.OutcomeCommitted {
+		t.Fatalf("keyed commit: %v %v", o, err)
+	}
+
+	ro := c.BeginReadOnly()
+	defer ro.Close()
+	if v, err := ro.GetK("alpha"); err != nil || v != "a" {
+		t.Fatalf("GetK alpha = %q, %v", v, err)
+	}
+	if v, err := ro.GetK("beta"); err != nil || v != "b" {
+		t.Fatalf("GetK beta = %q, %v", v, err)
+	}
+}

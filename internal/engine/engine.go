@@ -132,6 +132,19 @@ type Resource interface {
 	ApplyRedo(redo []byte) error
 }
 
+// VersionedResource is the optional extension implemented by multi-version
+// resources. The engine publishes both series as per-site gauges and exposes
+// them via Site.ResourceVersion so snapshot readers can see how far the
+// apply path has advanced: CommitTS is the newest commit timestamp stamped
+// at decision-apply time, and Watermark is the oldest in-doubt prepare
+// reservation (0 when nothing is prepared-but-undecided) — the bound below
+// which snapshot reads are final.
+type VersionedResource interface {
+	Resource
+	CommitTS() uint64
+	Watermark() uint64
+}
+
 // Message kinds exchanged by the engine.
 const (
 	KindVoteReq   = "VOTE-REQ"   // coordinator: transaction + cohort metadata
@@ -642,6 +655,18 @@ func ceilPow2(n int) int {
 
 // ID returns the site's identifier.
 func (s *Site) ID() int { return s.id }
+
+// ResourceVersion reports the resource's newest applied commit timestamp and
+// its in-doubt watermark when the resource is multi-version; ok is false for
+// plain resources. Every shard shares the one configured resource, so the
+// first shard's view is the site's view.
+func (s *Site) ResourceVersion() (commitTS, watermark uint64, ok bool) {
+	vr, ok := s.shards[0].res.(VersionedResource)
+	if !ok {
+		return 0, 0, false
+	}
+	return vr.CommitTS(), vr.Watermark(), true
+}
 
 // shardFor routes a transaction ID to its owning shard (FNV-1a).
 func (s *Site) shardFor(txid string) *shard {

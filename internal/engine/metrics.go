@@ -94,4 +94,14 @@ func (m *Metrics) registerSiteGauges(s *Site) {
 	m.reg.CounterFunc("engine_events_dropped_total", func() float64 {
 		return float64(s.dropped.Load())
 	}, "site", site)
+	if vr, ok := s.shards[0].res.(VersionedResource); ok {
+		m.reg.Help("engine_resource_commit_ts", "Newest commit timestamp applied at the site's multi-version resource.")
+		m.reg.GaugeFunc("engine_resource_commit_ts", func() float64 {
+			return float64(vr.CommitTS())
+		}, "site", site)
+		m.reg.Help("engine_resource_watermark", "Oldest in-doubt prepare timestamp at the site's resource (0 = none in doubt).")
+		m.reg.GaugeFunc("engine_resource_watermark", func() float64 {
+			return float64(vr.Watermark())
+		}, "site", site)
+	}
 }

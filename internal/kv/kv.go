@@ -1,9 +1,19 @@
 // Package kv implements a per-site transactional key-value store with strict
-// two-phase locking. It is the local resource manager beneath the commit
-// protocols: a participant votes YES by preparing a transaction here, and
-// the paper's motivation for unilateral abort — "the resolution of a
-// deadlock, when a locking scheme is adopted" — appears as lock-wait
-// timeouts that force a NO vote.
+// two-phase locking for writers and multi-version storage for readers. It is
+// the local resource manager beneath the commit protocols: a participant
+// votes YES by preparing a transaction here, and the paper's motivation for
+// unilateral abort — "the resolution of a deadlock, when a locking scheme is
+// adopted" — appears as lock-wait timeouts that force a NO vote.
+//
+// Committed values are kept as per-key version chains stamped with a
+// site-local commit timestamp allocated at decision-apply time. Prepare
+// reserves a timestamp for the transaction and records it in an in-doubt set;
+// the watermark (the oldest in-doubt prepare) bounds snapshot reads so a
+// snapshot can never read around an unresolved write: snapshots are taken at
+// StableTS = min(latest commit, oldest in-doubt prepare − 1), below which no
+// future commit can land because timestamps are allocated monotonically.
+// Snapshot reads therefore never block on writer locks and never observe a
+// prepared-but-undecided write set.
 package kv
 
 import (
@@ -15,6 +25,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"nbcommit/internal/clock"
 )
 
 // Common errors.
@@ -37,6 +49,10 @@ var (
 	ErrNotActive = errors.New("kv: transaction is not active")
 	// ErrNotFound means the key does not exist.
 	ErrNotFound = errors.New("kv: key not found")
+	// ErrSnapshotTooOld means a snapshot read asked for a timestamp whose
+	// versions were already garbage-collected. Pin snapshots with
+	// AcquireSnapshot to hold the GC floor, or retry at a fresh timestamp.
+	ErrSnapshotTooOld = errors.New("kv: snapshot too old: versions garbage-collected")
 )
 
 type txnState int
@@ -61,52 +77,69 @@ type WriteOp struct {
 	Delete bool
 }
 
-// writesFormatV1 tags the hand-rolled binary write-set encoding. A gob
-// stream can never start with this byte: gob's first message is a type
-// descriptor preceded by its byte count, which is always larger than 1.
-const writesFormatV1 = 0x01
+// Write-set encoding tags. A gob stream can never start with either byte:
+// gob's first message is a type descriptor preceded by its byte count, which
+// is always larger than 2.
+const (
+	// writesFormatV1: per op, two uvarint-length-prefixed strings plus a
+	// single raw flags byte. Still decoded so logs written before the
+	// versioned format replay.
+	writesFormatV1 = 0x01
+	// writesFormatV2: per op, three uvarint-prefixed fields — key, value,
+	// and a flags varint that carries versioning metadata (bit 0: delete;
+	// remaining bits reserved for future per-op version hints).
+	writesFormatV2 = 0x02
+)
 
-// EncodeWrites serializes a write set for a WAL payload. The format is a
-// tag byte, a uvarint op count, then per op uvarint-length-prefixed key and
-// value and a flags byte — Prepare runs it for every transaction, and the
-// previous gob encoding spent most of its time re-sending type descriptors
-// from a fresh encoder per call.
+// opFlagDelete marks a tombstone in the v2 per-op flags varint.
+const opFlagDelete = 1 << 0
+
+// EncodeWrites serializes a write set for a WAL payload. The format is a tag
+// byte, a uvarint op count, then per op THREE uvarint-prefixed fields:
+// length-prefixed key, length-prefixed value, and a flags varint. Prepare
+// runs this for every transaction, so the capacity reservation below must
+// cover the worst case — an append-driven resize on the prepare hot path
+// would show up directly in commit latency. TestEncodeWritesNoResize pins
+// the math.
 func EncodeWrites(ops []WriteOp) ([]byte, error) {
 	size := 1 + binary.MaxVarintLen64
 	for _, op := range ops {
-		size += 2*binary.MaxVarintLen64 + len(op.Key) + len(op.Value) + 1
+		// Three varint-prefixed fields per op: key length, value length,
+		// and the flags varint itself.
+		size += 3*binary.MaxVarintLen64 + len(op.Key) + len(op.Value)
 	}
 	buf := make([]byte, 1, size)
-	buf[0] = writesFormatV1
+	buf[0] = writesFormatV2
 	buf = binary.AppendUvarint(buf, uint64(len(ops)))
 	for _, op := range ops {
 		buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
 		buf = append(buf, op.Key...)
 		buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
 		buf = append(buf, op.Value...)
-		var flags byte
+		var flags uint64
 		if op.Delete {
-			flags = 1
+			flags |= opFlagDelete
 		}
-		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, flags)
 	}
 	return buf, nil
 }
 
-// DecodeWrites parses a write set from a WAL payload. Payloads not tagged
-// with the binary format fall back to the legacy gob decoding, so logs
-// written before the format change still replay.
+// DecodeWrites parses a write set from a WAL payload. Payloads tagged with
+// the v1 format (pre-versioning) and untagged legacy gob streams still
+// decode, so logs written before the format changes replay.
 func DecodeWrites(p []byte) ([]WriteOp, error) {
 	if len(p) == 0 {
 		return nil, nil
 	}
-	if p[0] != writesFormatV1 {
+	if p[0] != writesFormatV1 && p[0] != writesFormatV2 {
 		var ops []WriteOp
 		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&ops); err != nil {
 			return nil, fmt.Errorf("kv: decode writes: %w", err)
 		}
 		return ops, nil
 	}
+	format := p[0]
 	rest := p[1:]
 	n, cnt, err := decodeUvarint(rest)
 	if err != nil {
@@ -125,11 +158,21 @@ func DecodeWrites(p []byte) ([]WriteOp, error) {
 		if op.Value, rest, err = decodeString(rest); err != nil {
 			return nil, err
 		}
-		if len(rest) == 0 {
-			return nil, fmt.Errorf("kv: decode writes: truncated flags")
+		switch format {
+		case writesFormatV1:
+			if len(rest) == 0 {
+				return nil, fmt.Errorf("kv: decode writes: truncated flags")
+			}
+			op.Delete = rest[0]&1 != 0
+			rest = rest[1:]
+		case writesFormatV2:
+			var flags uint64
+			if n, flags, err = decodeUvarint(rest); err != nil {
+				return nil, fmt.Errorf("kv: decode writes: flags: %w", err)
+			}
+			rest = rest[n:]
+			op.Delete = flags&opFlagDelete != 0
 		}
-		op.Delete = rest[0]&1 != 0
-		rest = rest[1:]
 		ops = append(ops, op)
 	}
 	return ops, nil
@@ -159,6 +202,7 @@ type txn struct {
 	id     string
 	seq    uint64 // begin order: smaller is older (wait-die priority)
 	state  txnState
+	prepTS uint64             // timestamp reserved at Prepare (in-doubt marker)
 	writes map[string]WriteOp // staged, keyed by key
 	order  []string           // staging order for deterministic write sets
 	locks  map[string]lockMode
@@ -166,6 +210,14 @@ type txn struct {
 
 type lockEntry struct {
 	holders map[string]lockMode
+}
+
+// version is one committed value of a key. Chains are kept in ascending
+// commit-timestamp order; the last element is the latest committed state.
+type version struct {
+	ts      uint64
+	value   string
+	deleted bool // tombstone: the key did not exist at this version
 }
 
 // DeadlockPolicy selects how lock waits that might form cycles are broken.
@@ -186,13 +238,20 @@ const (
 // call NewStore.
 type Store struct {
 	mu          sync.Mutex
-	data        map[string]string
+	data        map[string][]version // per-key version chains, ascending ts
 	locks       map[string]*lockEntry
 	txns        map[string]*txn
 	waitCh      chan struct{} // closed and replaced on every lock release
 	lockTimeout time.Duration
 	policy      DeadlockPolicy
+	clk         clock.Clock
 	beginSeq    uint64
+
+	ts         uint64            // monotone timestamp counter (prepare + commit stamps)
+	lastCommit uint64            // newest commit timestamp applied
+	inDoubt    map[string]uint64 // prepared-but-undecided txid → reserved prepare ts
+	snaps      map[uint64]int    // pinned snapshot ts → refcount (GC floor)
+	gcFloor    uint64            // versions at or below are merged; older reads fail
 }
 
 // Options configures a Store.
@@ -202,6 +261,10 @@ type Options struct {
 	LockTimeout time.Duration
 	// Policy selects the deadlock handling strategy.
 	Policy DeadlockPolicy
+	// Clock is the time source for lock-wait deadlines. Nil means the wall
+	// clock; deterministic simulation injects a virtual clock so deadlock
+	// resolution timing replays from a seed.
+	Clock clock.Clock
 }
 
 // NewStore returns an empty store.
@@ -210,13 +273,20 @@ func NewStore(opts Options) *Store {
 	if to == 0 {
 		to = 100 * time.Millisecond
 	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.Wall
+	}
 	return &Store{
-		data:        map[string]string{},
+		data:        map[string][]version{},
 		locks:       map[string]*lockEntry{},
 		txns:        map[string]*txn{},
 		waitCh:      make(chan struct{}),
 		lockTimeout: to,
 		policy:      opts.Policy,
+		clk:         clk,
+		inDoubt:     map[string]uint64{},
+		snaps:       map[uint64]int{},
 	}
 }
 
@@ -282,9 +352,10 @@ func (s *Store) mustDie(t *txn, key string, mode lockMode) bool {
 }
 
 // acquire blocks until the lock is granted or the store's lock timeout
-// expires (deadlock resolution).
+// expires (deadlock resolution). Deadlines and timers come from the injected
+// clock so lock-wait timing is deterministic under simulation.
 func (s *Store) acquire(t *txn, key string, mode lockMode) error {
-	deadline := time.Now().Add(s.lockTimeout)
+	deadline := s.clk.Now().Add(s.lockTimeout)
 	s.mu.Lock()
 	for {
 		if t.state != stateActive {
@@ -312,15 +383,16 @@ func (s *Store) acquire(t *txn, key string, mode lockMode) error {
 		}
 		ch := s.waitCh
 		s.mu.Unlock()
-		remain := time.Until(deadline)
+		remain := deadline.Sub(s.clk.Now())
 		if remain <= 0 {
 			return ErrLockTimeout
 		}
-		timer := time.NewTimer(remain)
+		expired := make(chan struct{})
+		timer := s.clk.AfterFunc(remain, func() { close(expired) })
 		select {
 		case <-ch:
 			timer.Stop()
-		case <-timer.C:
+		case <-expired:
 			return ErrLockTimeout
 		}
 		s.mu.Lock()
@@ -354,8 +426,20 @@ func (s *Store) activeTxn(txid string) (*txn, error) {
 	return t, nil
 }
 
+// latest returns the newest committed version of key, or nil. Requires s.mu
+// held.
+func (s *Store) latest(key string) *version {
+	vs := s.data[key]
+	if len(vs) == 0 {
+		return nil
+	}
+	return &vs[len(vs)-1]
+}
+
 // Get reads key under a shared lock, observing the transaction's own staged
-// writes first.
+// writes first: a GET after the transaction's own PUT returns the staged
+// value, and a GET after its own DELETE returns ErrNotFound, regardless of
+// the committed version underneath.
 func (s *Store) Get(txid, key string) (string, error) {
 	s.mu.Lock()
 	t, err := s.activeTxn(txid)
@@ -374,11 +458,11 @@ func (s *Store) Get(txid, key string) (string, error) {
 		}
 		return op.Value, nil
 	}
-	v, ok := s.data[key]
-	if !ok {
+	v := s.latest(key)
+	if v == nil || v.deleted {
 		return "", fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	return v, nil
+	return v.value, nil
 }
 
 // Put stages a write under an exclusive lock.
@@ -413,7 +497,10 @@ func (s *Store) stage(txid string, op WriteOp) error {
 // Prepare moves the transaction into the prepared state and returns its
 // write set (the redo image to force to the WAL before voting YES). A
 // prepared transaction keeps its locks and can no longer be mutated; only
-// Commit or Abort resolve it.
+// Commit or Abort resolve it. Prepare also reserves a timestamp and records
+// the transaction as in-doubt: until the decision applies, the snapshot
+// watermark stays below this reservation, so no snapshot can read around the
+// unresolved write set.
 func (s *Store) Prepare(txid string) ([]WriteOp, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -422,6 +509,9 @@ func (s *Store) Prepare(txid string) ([]WriteOp, error) {
 		return nil, err
 	}
 	t.state = statePrepared
+	s.ts++
+	t.prepTS = s.ts
+	s.inDoubt[txid] = t.prepTS
 	ops := make([]WriteOp, 0, len(t.order))
 	for _, k := range t.order {
 		ops = append(ops, t.writes[k])
@@ -429,9 +519,19 @@ func (s *Store) Prepare(txid string) ([]WriteOp, error) {
 	return ops, nil
 }
 
-// Commit applies the staged writes and releases locks. Committing an
-// unknown transaction is an error; committing an active (unprepared)
-// transaction is allowed for single-site use.
+// applyLocked appends one committed version. Requires s.mu held.
+func (s *Store) applyLocked(op WriteOp, cts uint64) {
+	vs := s.data[op.Key]
+	if op.Delete && len(vs) == 0 {
+		return // deleting a key that never existed needs no tombstone
+	}
+	s.data[op.Key] = append(vs, version{ts: cts, value: op.Value, deleted: op.Delete})
+}
+
+// Commit applies the staged writes as a new version of every written key,
+// stamped with a commit timestamp allocated here (decision-apply time), and
+// releases locks. Committing an unknown transaction is an error; committing
+// an active (unprepared) transaction is allowed for single-site use.
 func (s *Store) Commit(txid string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -439,24 +539,25 @@ func (s *Store) Commit(txid string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTxn, txid)
 	}
+	s.ts++
+	cts := s.ts
 	for _, k := range t.order {
-		op := t.writes[k]
-		if op.Delete {
-			delete(s.data, op.Key)
-		} else {
-			s.data[op.Key] = op.Value
-		}
+		s.applyLocked(t.writes[k], cts)
 	}
+	s.lastCommit = cts
+	delete(s.inDoubt, txid)
 	s.releaseLocks(t)
 	delete(s.txns, txid)
 	return nil
 }
 
-// Abort discards the staged writes and releases locks. Aborting an unknown
-// transaction is a no-op (idempotent aborts simplify recovery).
+// Abort discards the staged writes, clears any in-doubt reservation, and
+// releases locks. Aborting an unknown transaction is a no-op (idempotent
+// aborts simplify recovery).
 func (s *Store) Abort(txid string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.inDoubt, txid)
 	t, ok := s.txns[txid]
 	if !ok {
 		return nil
@@ -468,34 +569,208 @@ func (s *Store) Abort(txid string) error {
 
 // ApplyRedo applies a recovered write set directly (recovery redo of a
 // transaction whose commit record is in the log but whose effects were lost
-// with volatile state).
+// with volatile state). Each redo gets a fresh commit timestamp; replaying
+// in log order therefore reproduces the pre-crash version order.
 func (s *Store) ApplyRedo(ops []WriteOp) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ts++
+	cts := s.ts
 	for _, op := range ops {
-		if op.Delete {
-			delete(s.data, op.Key)
-		} else {
-			s.data[op.Key] = op.Value
+		s.applyLocked(op, cts)
+	}
+	s.lastCommit = cts
+}
+
+// stableTSLocked computes the newest timestamp safe to read: everything at
+// or below it is final. Requires s.mu held.
+func (s *Store) stableTSLocked() uint64 {
+	st := s.lastCommit
+	for _, p := range s.inDoubt {
+		if p-1 < st {
+			st = p - 1
 		}
 	}
+	return st
+}
+
+// StableTS returns the newest snapshot-safe timestamp:
+// min(latest commit, oldest in-doubt prepare − 1). The counter is monotone
+// and every in-doubt transaction reserved a timestamp above this value, so
+// no future commit can ever land at or below StableTS — a snapshot taken
+// here is final.
+func (s *Store) StableTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stableTSLocked()
+}
+
+// Watermark returns the oldest in-doubt prepare timestamp, or 0 when no
+// transaction is prepared-but-undecided. Snapshots never read at or above a
+// nonzero watermark.
+func (s *Store) Watermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var w uint64
+	for _, p := range s.inDoubt {
+		if w == 0 || p < w {
+			w = p
+		}
+	}
+	return w
+}
+
+// CommitTS returns the newest commit timestamp applied at this store.
+func (s *Store) CommitTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCommit
+}
+
+// AcquireSnapshot pins the current stable timestamp against garbage
+// collection and returns it. Reads via ReadAt at the returned timestamp stay
+// valid until ReleaseSnapshot. Pins are refcounted, so concurrent snapshots
+// at the same timestamp share one entry.
+func (s *Store) AcquireSnapshot() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.stableTSLocked()
+	s.snaps[ts]++
+	return ts
+}
+
+// ReleaseSnapshot drops a pin taken by AcquireSnapshot. Releasing an
+// unknown timestamp is a no-op.
+func (s *Store) ReleaseSnapshot(ts uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.snaps[ts]; ok {
+		if n <= 1 {
+			delete(s.snaps, ts)
+		} else {
+			s.snaps[ts] = n - 1
+		}
+	}
+}
+
+// ReadAt returns the value of key as of snapshot timestamp ts: the newest
+// version at or below ts. It takes no locks beyond the store mutex — a
+// snapshot read never waits for a writer and never sees a
+// prepared-but-undecided write. Reading below the GC floor returns
+// ErrSnapshotTooOld.
+func (s *Store) ReadAt(ts uint64, key string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readAtLocked(ts, key)
+}
+
+func (s *Store) readAtLocked(ts uint64, key string) (string, error) {
+	if ts < s.gcFloor {
+		return "", fmt.Errorf("%w: ts %d < floor %d", ErrSnapshotTooOld, ts, s.gcFloor)
+	}
+	vs := s.data[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].ts > ts {
+			continue
+		}
+		if vs[i].deleted {
+			return "", fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return vs[i].value, nil
+	}
+	return "", fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// SnapshotGet is the one-shot snapshot read: it resolves the current stable
+// timestamp and reads key at it atomically, returning the timestamp used so
+// a session can pin later reads to the same snapshot. No transaction, no
+// locks, no commit protocol.
+func (s *Store) SnapshotGet(key string) (string, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.stableTSLocked()
+	v, err := s.readAtLocked(ts, key)
+	return v, ts, err
+}
+
+// GC merges version chains up to the garbage-collection floor — the oldest
+// timestamp any pinned snapshot (or the stable timestamp, if lower) can
+// still read. For every key it drops versions superseded by a newer version
+// at or below the floor, and removes keys whose entire surviving history is
+// a tombstone. It returns surviving and dropped version counts.
+func (s *Store) GC() (kept, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	floor := s.stableTSLocked()
+	for ts := range s.snaps {
+		if ts < floor {
+			floor = ts
+		}
+	}
+	if floor < s.gcFloor {
+		floor = s.gcFloor // the floor never moves backwards
+	}
+	s.gcFloor = floor
+	for k, vs := range s.data {
+		// base: newest version at or below the floor; everything before it
+		// is unreadable by any permissible snapshot.
+		base := 0
+		for i := len(vs) - 1; i >= 0; i-- {
+			if vs[i].ts <= floor {
+				base = i
+				break
+			}
+		}
+		if base == 0 && !(len(vs) == 1 && vs[0].deleted && vs[0].ts <= floor) {
+			kept += len(vs)
+			continue
+		}
+		if len(vs)-base == 1 && vs[base].deleted && vs[base].ts <= floor {
+			// Sole surviving version is a settled tombstone: drop the key.
+			dropped += len(vs)
+			delete(s.data, k)
+			continue
+		}
+		nv := make([]version, len(vs)-base)
+		copy(nv, vs[base:])
+		s.data[k] = nv
+		dropped += base
+		kept += len(nv)
+	}
+	return kept, dropped
+}
+
+// VersionStats reports the number of keys and total retained versions, for
+// observability and GC tests.
+func (s *Store) VersionStats() (keys, versions int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, vs := range s.data {
+		versions += len(vs)
+	}
+	return len(s.data), versions
 }
 
 // Read returns the committed value of key, outside any transaction.
 func (s *Store) Read(key string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	v, ok := s.data[key]
-	return v, ok
+	v := s.latest(key)
+	if v == nil || v.deleted {
+		return "", false
+	}
+	return v.value, true
 }
 
-// Snapshot copies the committed state, for tests and examples.
+// Snapshot copies the latest committed state, for tests and examples.
 func (s *Store) Snapshot() map[string]string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]string, len(s.data))
-	for k, v := range s.data {
-		out[k] = v
+	for k, vs := range s.data {
+		if n := len(vs); n > 0 && !vs[n-1].deleted {
+			out[k] = vs[n-1].value
+		}
 	}
 	return out
 }
@@ -505,8 +780,10 @@ func (s *Store) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.data))
-	for k := range s.data {
-		out = append(out, k)
+	for k, vs := range s.data {
+		if n := len(vs); n > 0 && !vs[n-1].deleted {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out

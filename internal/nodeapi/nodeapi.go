@@ -7,15 +7,23 @@
 // plane and the transaction commits across exactly the sites whose shards
 // it touched (a single-shard transaction engages one site).
 //
+// Read-only transactions (BEGIN RO) ride the snapshot fast path: every read
+// is served from a pinned multi-version snapshot at the key's owner site —
+// no locks, no Begin/Prepare, and COMMIT succeeds without a single commit
+// protocol message. SGETK is the one-shot form: a single-shard snapshot read
+// is exactly one data-plane RPC (shard-map-version-stamped like every other
+// data-plane request).
+//
 // Protocol (one line per request/response):
 //
-//	BEGIN                 -> OK <txid>
+//	BEGIN [RO]            -> OK <txid>   (RO: read-only snapshot transaction)
 //	GET <site> <key>      -> VAL <value> | ERR <msg>
 //	PUT <site> <key> <v>  -> OK | ERR <msg>
 //	DEL <site> <key>      -> OK | ERR <msg>
 //	GETK <key>            -> VAL <value> | ERR <msg>
 //	PUTK <key> <v>        -> OK | ERR <msg>
 //	DELK <key>            -> OK | ERR <msg>
+//	SGETK <key>           -> VAL <value> | ERR <msg>   (snapshot read, no transaction needed)
 //	COMMIT                -> COMMITTED | ABORTED | ERR <msg>
 //	ABORT                 -> OK
 package nodeapi
@@ -76,10 +84,16 @@ func (a *API) Serve(conn net.Conn) {
 
 // Session is one client's transaction state.
 type Session struct {
-	api     *API
-	mu      sync.Mutex
-	txid    string
-	touched map[int]bool
+	api      *API
+	mu       sync.Mutex
+	txid     string
+	readOnly bool
+	touched  map[int]bool
+	// snaps holds a read-only transaction's per-site snapshot timestamps,
+	// pinned lazily on first touch. The local store's pin holds its GC
+	// floor; remote snapshots are stateless timestamps (a peer GC racing a
+	// long remote read surfaces as ErrSnapshotTooOld, never a wrong value).
+	snaps map[int]uint64
 }
 
 // Cleanup aborts any transaction left open (e.g. the connection dropped).
@@ -92,15 +106,29 @@ func (s *Session) Cleanup() {
 }
 
 func (s *Session) abortLocked() {
-	for site := range s.touched {
-		if site == s.api.Self {
-			_ = s.api.Store.Abort(s.txid)
-		} else {
-			_, _ = s.api.Client.Call(site, s.txid, remote.OpAbort, "", "")
+	if s.readOnly {
+		s.releaseSnapsLocked()
+	} else {
+		for site := range s.touched {
+			if site == s.api.Self {
+				_ = s.api.Store.Abort(s.txid)
+			} else {
+				_, _ = s.api.Client.Call(site, s.txid, remote.OpAbort, "", "")
+			}
 		}
 	}
 	s.txid = ""
+	s.readOnly = false
 	s.touched = map[int]bool{}
+}
+
+// releaseSnapsLocked drops the local snapshot pin. Remote snapshots need no
+// release: peers do not track them.
+func (s *Session) releaseSnapsLocked() {
+	if ts, ok := s.snaps[s.api.Self]; ok {
+		s.api.Store.ReleaseSnapshot(ts)
+	}
+	s.snaps = nil
 }
 
 func (s *Session) enlist(site int) error {
@@ -130,11 +158,13 @@ func (s *Session) Execute(line string) string {
 	}
 	switch cmd := strings.ToUpper(args[0]); cmd {
 	case "BEGIN":
-		return s.begin()
+		return s.begin(args[1:])
 	case "GET", "PUT", "DEL":
 		return s.operate(cmd, args[1:])
 	case "GETK", "PUTK", "DELK":
 		return s.operateKeyed(cmd, args[1:])
+	case "SGETK":
+		return s.snapGetKeyed(args[1:])
 	case "COMMIT":
 		return s.commit()
 	case "ABORT":
@@ -150,13 +180,71 @@ func (s *Session) Execute(line string) string {
 
 // begin opens a transaction without enlisting any site: sites join the
 // cohort on first touch, so a transaction whose keys all live elsewhere
-// never includes the serving node in its commit.
-func (s *Session) begin() string {
+// never includes the serving node in its commit. BEGIN RO opens a read-only
+// transaction on the snapshot fast path instead: reads come from per-site
+// pinned snapshots, writes are refused, and COMMIT involves no protocol.
+func (s *Session) begin(args []string) string {
 	if s.txid != "" {
 		return "ERR transaction already open"
 	}
+	if len(args) > 0 {
+		if !strings.EqualFold(args[0], "RO") {
+			return "ERR usage: BEGIN [RO]"
+		}
+		s.readOnly = true
+		s.snaps = map[int]uint64{}
+		s.txid = fmt.Sprintf("ro-%d-%d", s.api.Self, txSeq.Add(1))
+		return "OK " + s.txid
+	}
 	s.txid = fmt.Sprintf("tx-%d-%d", s.api.Self, txSeq.Add(1))
 	return "OK " + s.txid
+}
+
+// snapRead reads key at site from the session's read-only snapshot, pinning
+// the site's stable timestamp on first touch.
+func (s *Session) snapRead(site int, key string) (string, error) {
+	if site == s.api.Self {
+		ts, ok := s.snaps[s.api.Self]
+		if !ok {
+			ts = s.api.Store.AcquireSnapshot()
+			s.snaps[s.api.Self] = ts
+		}
+		return s.api.Store.ReadAt(ts, key)
+	}
+	v, rts, err := s.api.Client.SnapGet(site, key, s.snaps[site])
+	if _, ok := s.snaps[site]; !ok && rts != 0 {
+		s.snaps[site] = rts // pin even when the first read is a not-found
+	}
+	return v, err
+}
+
+// snapGetKeyed serves SGETK: a one-shot snapshot read of a key at its owner
+// site — for a single-shard read, exactly one data-plane RPC, with no
+// transaction and no commit-protocol traffic. Inside an open BEGIN RO
+// transaction it reads from the transaction's pinned snapshot instead.
+func (s *Session) snapGetKeyed(args []string) string {
+	if s.api.Router == nil {
+		return "ERR this node has no shard map"
+	}
+	if len(args) < 1 {
+		return "ERR usage: SGETK <key>"
+	}
+	key := args[0]
+	site := s.api.Router.Site(key)
+	var v string
+	var err error
+	switch {
+	case s.readOnly && s.txid != "":
+		v, err = s.snapRead(site, key)
+	case site == s.api.Self:
+		v, _, err = s.api.Store.SnapshotGet(key)
+	default:
+		v, _, err = s.api.Client.SnapGet(site, key, 0)
+	}
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	return "VAL " + v
 }
 
 func (s *Session) operate(cmd string, args []string) string {
@@ -169,6 +257,16 @@ func (s *Session) operate(cmd string, args []string) string {
 	site, err := strconv.Atoi(args[0])
 	if err != nil || site < 1 {
 		return "ERR bad site"
+	}
+	if s.readOnly {
+		if cmd != "GET" {
+			return "ERR read-only transaction"
+		}
+		v, err := s.snapRead(site, args[1])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "VAL " + v
 	}
 	if err := s.enlist(site); err != nil {
 		return "ERR " + err.Error()
@@ -211,6 +309,16 @@ func (s *Session) operateKeyed(cmd string, args []string) string {
 	}
 	key := args[0]
 	site := s.api.Router.Site(key)
+	if s.readOnly {
+		if cmd != "GETK" {
+			return "ERR read-only transaction"
+		}
+		v, err := s.snapRead(site, key)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "VAL " + v
+	}
 	if err := s.enlist(site); err != nil {
 		return "ERR " + err.Error()
 	}
@@ -240,6 +348,15 @@ func (s *Session) operateKeyed(cmd string, args []string) string {
 func (s *Session) commit() string {
 	if s.txid == "" {
 		return "ERR no open transaction"
+	}
+	if s.readOnly {
+		// The snapshot was consistent by construction: a read-only
+		// transaction commits without Begin, Prepare, or any protocol
+		// message — release the pins and report success.
+		s.releaseSnapsLocked()
+		s.txid = ""
+		s.readOnly = false
+		return "COMMITTED"
 	}
 	sites := make([]int, 0, len(s.touched))
 	for site := range s.touched {

@@ -39,6 +39,14 @@ const (
 	// commits a transaction without inflating the cohort with itself — a
 	// single-shard transaction engages exactly its owner site.
 	OpCommit = "commit"
+	// OpSnapGet is the read-only fast path: a snapshot read against the
+	// peer's multi-version store. It needs no transaction, takes no locks
+	// and never touches the commit protocol — a single-shard read is this
+	// one round trip. SnapTS zero reads at the peer's current stable
+	// timestamp (returned in Reply.TS so a session can pin later reads to
+	// the same snapshot); nonzero re-reads at a previously returned
+	// timestamp.
+	OpSnapGet = "snapget"
 )
 
 // Request is one data-plane operation against a peer's store.
@@ -53,6 +61,10 @@ type Request struct {
 	// MapVersion stamps the sender's shard map version; the receiver rejects
 	// the request if it routes under a different map. Zero means unsharded.
 	MapVersion uint64
+	// SnapTS pins an OpSnapGet to a snapshot timestamp returned by an
+	// earlier OpSnapGet against the same site. Zero reads at the site's
+	// current stable timestamp.
+	SnapTS uint64
 }
 
 // Reply answers a Request.
@@ -60,6 +72,8 @@ type Reply struct {
 	ReqID uint64
 	Value string
 	Err   string
+	// TS is the snapshot timestamp an OpSnapGet was served at.
+	TS uint64
 }
 
 // encodeBufPool and decodeReaderPool recycle the scratch objects of the
@@ -139,6 +153,13 @@ func (s *Server) Handle(m transport.Message) {
 			err = s.Store.Delete(req.TxID, req.Key)
 		case OpAbort:
 			err = s.Store.Abort(req.TxID)
+		case OpSnapGet:
+			if req.SnapTS == 0 {
+				rep.Value, rep.TS, err = s.Store.SnapshotGet(req.Key)
+			} else {
+				rep.TS = req.SnapTS
+				rep.Value, err = s.Store.ReadAt(req.SnapTS, req.Key)
+			}
 		case OpCommit:
 			rep.Value, err = s.commit(req)
 		default:
@@ -220,7 +241,17 @@ func (c *Client) Deliver(m transport.Message) {
 
 // Call sends one operation to a peer and waits for the reply.
 func (c *Client) Call(to int, txid, op, key, value string) (string, error) {
-	return c.call(to, Request{TxID: txid, Op: op, Key: key, Value: value}, c.Timeout)
+	rep, err := c.call(to, Request{TxID: txid, Op: op, Key: key, Value: value}, c.Timeout)
+	return rep.Value, err
+}
+
+// SnapGet reads key from a peer's store at a consistent snapshot — one RPC,
+// no transaction, no commit-protocol traffic. ts zero reads at the peer's
+// current stable timestamp; the timestamp actually used is returned, so
+// passing it back pins subsequent reads to the same snapshot.
+func (c *Client) SnapGet(to int, key string, ts uint64) (string, uint64, error) {
+	rep, err := c.call(to, Request{Op: OpSnapGet, Key: key, SnapTS: ts}, c.Timeout)
+	return rep.Value, rep.TS, err
 }
 
 // Commit forwards coordination of txid to a peer: the peer's engine runs the
@@ -229,11 +260,11 @@ func (c *Client) Call(to int, txid, op, key, value string) (string, error) {
 // wait; it must cover the whole protocol, not one message round, so it is
 // separate from the per-operation Timeout.
 func (c *Client) Commit(to int, txid string, participants []int, wait time.Duration) (engine.Outcome, error) {
-	v, err := c.call(to, Request{TxID: txid, Op: OpCommit, Participants: participants}, wait)
+	rep, err := c.call(to, Request{TxID: txid, Op: OpCommit, Participants: participants}, wait)
 	if err != nil {
 		return engine.OutcomePending, err
 	}
-	switch v {
+	switch rep.Value {
 	case engine.OutcomeCommitted.String():
 		return engine.OutcomeCommitted, nil
 	case engine.OutcomeAborted.String():
@@ -243,7 +274,7 @@ func (c *Client) Commit(to int, txid string, participants []int, wait time.Durat
 	}
 }
 
-func (c *Client) call(to int, req Request, timeout time.Duration) (string, error) {
+func (c *Client) call(to int, req Request, timeout time.Duration) (Reply, error) {
 	c.mu.Lock()
 	c.seq++
 	req.ReqID = c.seq
@@ -254,17 +285,20 @@ func (c *Client) call(to int, req Request, timeout time.Duration) (string, error
 
 	if err := c.Send(transport.Message{To: to, Kind: KindOp, TxID: req.TxID, Body: encode(req)}); err != nil {
 		c.drop(req.ReqID)
-		return "", err
+		return Reply{}, err
 	}
 	select {
 	case rep := <-ch:
 		if rep.Err != "" {
-			return "", errors.New(rep.Err)
+			// The reply is returned alongside the error: OpSnapGet callers
+			// need the snapshot timestamp even when the key is not found,
+			// so a session pins its snapshot on the first read either way.
+			return Reply{ReqID: rep.ReqID, TS: rep.TS}, errors.New(rep.Err)
 		}
-		return rep.Value, nil
+		return rep, nil
 	case <-time.After(timeout):
 		c.drop(req.ReqID)
-		return "", fmt.Errorf("%w (site %d, op %s)", ErrTimeout, to, req.Op)
+		return Reply{}, fmt.Errorf("%w (site %d, op %s)", ErrTimeout, to, req.Op)
 	}
 }
 
