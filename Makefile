@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 DST_SEEDS ?= 500
 
-.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-readmix-smoke bench-allocs bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
+.PHONY: all build vet test race fuzz-smoke dst dst-ci dst-regress bench-throughput bench-throughput-smoke bench-readmix-smoke bench-allocs bench-forced bench-transport bench-transport-smoke bench-scaleout bench-chaos bench-chaos-smoke smoke-sharded smoke-obs
 
 all: build vet test
 
@@ -74,6 +74,22 @@ bench-allocs:
 		/BenchmarkEngineCommitAllocs\/3PC/ { if ($$(NF-1)+0 > 70) { print "FAIL: 3PC " $$(NF-1) " allocs/op exceeds budget 70"; bad=1 } } \
 		/BenchmarkEngineCommitAllocs\/Paxos/ { if ($$(NF-1)+0 > 100) { print "FAIL: Paxos " $$(NF-1) " allocs/op exceeds budget 100"; bad=1 } } \
 		END { if (bad) exit 1; print "alloc budgets ok (2PC <= 60, 3PC <= 70, Paxos <= 100)" }' /tmp/engine-allocs.txt
+
+# Forced-record budget guard: WAL records forced per transaction, by role,
+# must not regress. Presumed-abort 2PC pays 1 coordinator force per commit
+# (the decision record; begin and end are lazy), at most 2 participant-side
+# (vote + decision), and an abort forces nothing at the coordinator — the
+# no-trace presumption IS the abort record. 3PC and Paxos Commit force their
+# extra rounds but share the lazy begin/end treatment.
+bench-forced:
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineForcedRecords$$' -benchtime 1000x ./internal/engine | tee /tmp/engine-forced.txt
+	@awk ' \
+		function metric(name,   i) { for (i = 1; i <= NF; i++) if ($$i == name) return $$(i-1) + 0; return -1 } \
+		/BenchmarkEngineForcedRecords\/2PC-abort/ { c = metric("coord-forced/op"); if (c > 0) { print "FAIL: 2PC abort forced " c " coordinator records/op, budget 0"; bad = 1 } next } \
+		/BenchmarkEngineForcedRecords\/2PC/ { c = metric("coord-forced/op"); p = metric("part-forced/op"); if (c > 1 || p > 2) { print "FAIL: 2PC forced " c "/" p " coord/part records per commit, budget 1/2"; bad = 1 } next } \
+		/BenchmarkEngineForcedRecords\/3PC/ { c = metric("coord-forced/op"); p = metric("part-forced/op"); if (c > 3 || p > 3) { print "FAIL: 3PC forced " c "/" p " coord/part records per commit, budget 3/3"; bad = 1 } next } \
+		/BenchmarkEngineForcedRecords\/Paxos/ { c = metric("coord-forced/op"); p = metric("part-forced/op"); if (c > 5 || p > 4) { print "FAIL: Paxos forced " c "/" p " coord/part records per commit, budget 5/4"; bad = 1 } next } \
+		END { if (bad) exit 1; print "forced-record budgets ok (2PC 1/2, 3PC 3/3, Paxos 5/4, 2PC abort coord 0)" }' /tmp/engine-forced.txt
 
 # Transport microbenchmark: raw message throughput and latency between two
 # TCP endpoints on loopback, gob vs binary codec, coalescing on and off, at

@@ -253,6 +253,9 @@ func main() {
 		ForgetAfter: *forget,
 		Trace:       recorder,
 		Metrics:     engineMetrics,
+		// StoreResource's redo image is the encoded write set: empty means
+		// read-only at this site, so the read-only vote is sound.
+		ReadOnlyVotes: true,
 		Unhandled: func(m transport.Message) {
 			switch m.Kind {
 			case failure.HeartbeatKind:

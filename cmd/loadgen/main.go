@@ -66,7 +66,17 @@ type scenarioResult struct {
 	WALBatches    int64   `json:"wal_batches"`
 	WALMeanBatch  float64 `json:"wal_mean_batch"`
 	WALMaxBatch   int64   `json:"wal_max_batch"`
-	SyncP99Ms     float64 `json:"sync_p99_ms"`
+	// WALLazyRatio is the fraction of flushed WAL records that were lazy
+	// riders (begin/end/settlement records under the forced-record diet):
+	// they rode a forced batch instead of requiring a sync of their own.
+	WALLazyRatio float64 `json:"wal_lazy_ratio"`
+	SyncP99Ms    float64 `json:"sync_p99_ms"`
+	// ForcedPerCommit is the mean count of WAL records forced per
+	// transaction at one site, by role and outcome, from the
+	// engine_wal_forced_records_per_commit histograms. The presumed-abort
+	// headline numbers: 2PC coordinator_commit 1, participant_commit 2,
+	// coordinator_abort 0.
+	ForcedPerCommit map[string]float64 `json:"forced_records_per_commit"`
 	// Steady-state checks: transactions still tracked across all sites
 	// after the auto-forget grace period, and heap growth over the
 	// measured window (both must stay flat run over run).
@@ -277,7 +287,7 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 	}
 	defer os.RemoveAll(dir)
 
-	var batches, batchRecs, maxBatch atomic.Int64
+	var batches, batchRecs, maxBatch, lazyRecs atomic.Int64
 	var syncHist metrics.Histogram
 	reg := metrics.NewRegistry()
 	cluster, err := dtx.NewCluster(3, dtx.Options{
@@ -301,7 +311,8 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 					}
 				}
 			},
-			SyncLatency: func(d time.Duration) { syncHist.Observe(d) },
+			BatchLazyRecords: func(n int) { lazyRecs.Add(int64(n)) },
+			SyncLatency:      func(d time.Duration) { syncHist.Observe(d) },
 		},
 	})
 	if err != nil {
@@ -414,11 +425,31 @@ func runScenario(proto engine.ProtocolKind, group bool, clients int, duration, w
 	if b := batches.Load(); b > 0 {
 		res.WALMeanBatch = float64(batchRecs.Load()) / float64(b)
 	}
+	if r := batchRecs.Load(); r > 0 {
+		res.WALLazyRatio = float64(lazyRecs.Load()) / float64(r)
+	}
 
-	// Per-phase commit-path breakdown, straight from the engine's registry
-	// (the same histograms a kvnode exports on /metrics).
+	// Per-phase commit-path breakdown and forced-record accounting, straight
+	// from the engine's registry (the same histograms a kvnode exports on
+	// /metrics). The forced histograms observe plain counts as Durations, so
+	// the mean converts 1:1 back to records.
+	em := engine.NewMetrics(reg, proto)
+	res.ForcedPerCommit = map[string]float64{}
+	for _, rc := range []struct {
+		name             string
+		coord, committed bool
+	}{
+		{"coordinator_commit", true, true},
+		{"participant_commit", false, true},
+		{"coordinator_abort", true, false},
+		{"participant_abort", false, false},
+	} {
+		if h := em.ForcedPerCommit(rc.coord, rc.committed); h.Count() > 0 {
+			res.ForcedPerCommit[rc.name] = float64(h.Mean())
+		}
+	}
 	res.Phases = map[string]phaseStats{}
-	for phase, h := range engine.NewMetrics(reg, proto).Phases() {
+	for phase, h := range em.Phases() {
 		if h.Count() == 0 {
 			continue
 		}

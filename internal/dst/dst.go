@@ -59,6 +59,12 @@ type Config struct {
 	// fresh resource expected: volatile store state dies with the site and
 	// is rebuilt from the WAL redo images, exactly as in production.
 	mkResource func(site int, clk clock.Clock) engine.Resource
+
+	// readOnlyVotes enables the engine's read-only participant optimization
+	// (engine.Config.ReadOnlyVotes). Off by default, matching the engine's
+	// own default: the synthetic resource always reports a write set, so
+	// only harnesses that script empty-redo prepares turn this on.
+	readOnlyVotes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,16 +119,20 @@ func (p CrashPoint) String() string {
 // with a synthetic redo image unless scripted to vote NO.
 type resource struct {
 	refuse    map[string]bool
+	readonly  map[string]bool
 	committed map[string]bool
 }
 
 func newResource() *resource {
-	return &resource{refuse: map[string]bool{}, committed: map[string]bool{}}
+	return &resource{refuse: map[string]bool{}, readonly: map[string]bool{}, committed: map[string]bool{}}
 }
 
 func (r *resource) Prepare(txid string) ([]byte, error) {
 	if r.refuse[txid] {
 		return nil, errors.New("scripted NO vote")
+	}
+	if r.readonly[txid] {
+		return nil, nil // scripted empty write set: nothing at stake here
 	}
 	return []byte("redo:" + txid), nil
 }
@@ -145,13 +155,22 @@ func (r *resource) ApplyRedo(redo []byte) error {
 // and the scheduler completes the crash between steps. It also counts
 // appends per record type, which is how the explorer enumerates crash
 // points from a reference execution.
+//
+// Lazy appends are modelled with production FileLog semantics: AppendLazy
+// stages the record in a volatile buffer that becomes durable only when the
+// next forced append flushes it (riding that batch), and a crash loses the
+// whole staged suffix — recoverSite discards this wrapper, buffer included,
+// keeping only inner. Staged appends still count toward seen, so the
+// explorer enumerates crash points inside the staged-but-unflushed windows
+// that presumed-abort recovery must survive.
 type crashLog struct {
-	inner *wal.MemoryLog
-	c     *cluster
-	site  int
-	trig  *CrashPoint
-	seen  map[wal.RecordType]int
-	dead  bool
+	inner  *wal.MemoryLog
+	c      *cluster
+	site   int
+	trig   *CrashPoint
+	seen   map[wal.RecordType]int
+	staged []wal.Record // lazy appends not yet carried by a forced batch
+	dead   bool
 }
 
 func (l *crashLog) Append(rec wal.Record) (uint64, error) {
@@ -162,6 +181,14 @@ func (l *crashLog) Append(rec wal.Record) (uint64, error) {
 		// later rebuilt from the (truncated) log by recovery.
 		return 0, nil
 	}
+	// Staged lazy records ride this forced batch: they become durable,
+	// in stage order, together with the record that forced the flush.
+	for _, lr := range l.staged {
+		if _, err := l.inner.Append(lr); err != nil {
+			return 0, err
+		}
+	}
+	l.staged = l.staged[:0]
 	lsn, err := l.inner.Append(rec)
 	if err != nil {
 		return lsn, err
@@ -176,7 +203,37 @@ func (l *crashLog) Append(rec wal.Record) (uint64, error) {
 	return lsn, err
 }
 
-func (l *crashLog) Records() ([]wal.Record, error) { return l.inner.Records() }
+// AppendLazy implements wal.LazyLog. A trigger on a lazily appended record
+// crashes the site inside the lazy window: the record is staged, counted,
+// and then lost with the buffer — recovery sees a log without it.
+func (l *crashLog) AppendLazy(rec wal.Record) error {
+	if l.dead {
+		return nil
+	}
+	l.staged = append(l.staged, rec)
+	l.seen[rec.Type]++
+	if l.trig != nil && l.trig.kind == afterAppend &&
+		l.trig.Rec == rec.Type && l.seen[rec.Type] == l.trig.Nth {
+		l.dead = true
+		l.c.tracef("crash point hit: %s (lazy window: record staged, not durable)", l.trig)
+		l.c.trip(l.site)
+	}
+	return nil
+}
+
+// Records matches FileLog semantics: a scan flushes the staged suffix first
+// (recovery only ever runs on a fresh wrapper, whose buffer is empty).
+func (l *crashLog) Records() ([]wal.Record, error) {
+	if !l.dead {
+		for _, lr := range l.staged {
+			if _, err := l.inner.Append(lr); err != nil {
+				return nil, err
+			}
+		}
+		l.staged = l.staged[:0]
+	}
+	return l.inner.Records()
+}
 
 func (l *crashLog) Close() error { return l.inner.Close() }
 
@@ -190,9 +247,10 @@ type cluster struct {
 	sites map[int]*engine.Site
 	logs  map[int]*crashLog
 	res   map[int]*resource
-	kres  map[int]engine.Resource // cfg.mkResource-built resources, if any
-	ids   []int
-	txids []string
+	kres   map[int]engine.Resource // cfg.mkResource-built resources, if any
+	ids    []int
+	txids  []string
+	coords map[string]int // central transactions only: txid -> coordinator
 
 	deliverTrip  *CrashPoint // armed afterDeliver crash point, if any
 	down         map[int]bool
@@ -222,6 +280,7 @@ func newCluster(cfg Config, cp *CrashPoint) *cluster {
 		down:        map[int]bool{},
 		everCrashed: map[int]bool{},
 		delivered:   map[int]int{},
+		coords:      map[string]int{},
 	}
 	if cp != nil && cp.kind == afterDeliver {
 		c.deliverTrip = cp
@@ -272,6 +331,11 @@ func (c *cluster) startSite(id int) {
 		Shards:        c.cfg.Shards,
 		Clock:         c.clk,
 		Deterministic: true,
+		ReadOnlyVotes: c.cfg.readOnlyVotes,
+		// GC runs in-sim: resolved transactions are settled (DEC-ACK) and
+		// forgotten after a grace period, so the explorer reaches the
+		// settlement path — including the lazy end-record windows.
+		ForgetAfter: 4 * c.timeoutFor(id),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("dst: cannot assemble site %d: %v", id, err)) // our own config; cannot fail
@@ -302,6 +366,7 @@ func (c *cluster) beginSubset(coord int, txid string, cohort []int, peer bool) e
 	if peer {
 		return c.sites[coord].BeginPeer(txid, cohort)
 	}
+	c.coords[txid] = coord
 	return c.sites[coord].Begin(txid, cohort)
 }
 
@@ -358,6 +423,8 @@ func (c *cluster) recoverSite(site int) {
 		Shards:        c.cfg.Shards,
 		Clock:         c.clk,
 		Deterministic: true,
+		ReadOnlyVotes: c.cfg.readOnlyVotes,
+		ForgetAfter:   4 * c.timeoutFor(site),
 	})
 	if err != nil {
 		c.fail("recovery of site %d failed: %v", site, err)
@@ -455,18 +522,60 @@ func (c *cluster) run(p *plan) {
 	}
 }
 
+// drainSettlement advances virtual time through the engines' settlement
+// grace periods after the cluster has settled: run returns as soon as every
+// outcome is resolved, which leaves the GC timers — DEC-ACK re-offers and
+// the forget grace period that stages each site's lazy end record — still
+// pending. Draining them makes the staged-but-unflushed settlement windows
+// reachable by the crash-point enumerator. Sites that poll forever (blocked
+// transactions, crashed peers) re-arm a timer on every firing, so the drain
+// is bounded by rounds rather than by timer exhaustion.
+func (c *cluster) drainSettlement() {
+	for round := 0; round < 6; round++ {
+		dl, ok := c.clk.NextDeadline()
+		if !ok {
+			return
+		}
+		if now := c.clk.Now(); dl.After(now) {
+			c.clk.Advance(dl.Sub(now))
+		} else if !c.clk.Step() {
+			return
+		}
+		c.run(nil)
+	}
+}
+
 // allSettled reports whether every alive site has concluded every
 // transaction it knows: resolved, or (2PC) provably blocked awaiting
 // coordinator recovery. Unknown transactions are vacuously settled.
+//
+// Blocked only counts as a conclusion while some site is actually down:
+// once the whole cluster is up again (post-recovery), the blocked site's
+// next status poll will resolve the transaction — under presumed abort a
+// recovered no-trace coordinator answers inquiries but broadcasts nothing
+// on its own, so the run must keep advancing time until that poll fires.
 func (c *cluster) allSettled() bool {
+	anyDown := false
+	for _, id := range c.ids {
+		if c.down[id] {
+			anyDown = true
+			break
+		}
+	}
 	for _, id := range c.ids {
 		if c.down[id] {
 			continue
 		}
 		for _, txid := range c.txids {
 			o, err := c.sites[id].Outcome(txid)
+			if errors.Is(err, engine.ErrBlocked) {
+				if !anyDown {
+					return false // everyone is up: the next poll unblocks it
+				}
+				continue
+			}
 			if err != nil {
-				continue // blocked (a conclusion) or unknown (vacuous)
+				continue // unknown: vacuously settled
 			}
 			if o == engine.OutcomePending {
 				return false
@@ -507,8 +616,32 @@ func (c *cluster) snapshot() map[string]map[int]view {
 	return out
 }
 
+// durableOutcome reads a site's decision for txid from its durable WAL —
+// the terminal evidence once the live engine has settled and forgotten the
+// transaction (auto-forget runs in-sim). Returns pending when the log holds
+// no decision record, which under presumed abort also covers aborts that
+// never forced one.
+func (c *cluster) durableOutcome(site int, txid string) engine.Outcome {
+	recs, _ := c.logs[site].inner.Records()
+	out := engine.OutcomePending
+	for _, rec := range recs {
+		if rec.TxID != txid {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecCommitted:
+			out = engine.OutcomeCommitted
+		case wal.RecAborted:
+			out = engine.OutcomeAborted
+		}
+	}
+	return out
+}
+
 // walDigest fingerprints every site's durable state, for replay-identity
-// checks: two runs of the same seed must produce identical digests.
+// checks: two runs of the same seed must produce identical digests. Lazy
+// records still staged at run end are deliberately excluded — they are not
+// durable yet.
 func (c *cluster) walDigest() string {
 	h := fnv.New64a()
 	for _, id := range c.ids {

@@ -170,6 +170,7 @@ func enumerateCrashPointsFrom(cfg Config, launch func(*cluster) error) []CrashPo
 		panic(fmt.Sprintf("dst: reference begin failed: %v", err))
 	}
 	c.run(nil)
+	c.drainSettlement()
 	var pts []CrashPoint
 	for _, id := range c.ids {
 		var types []wal.RecordType
@@ -225,6 +226,11 @@ func runCrashPointFrom(cfg Config, cp CrashPoint, launch func(*cluster) error) (
 		return r, c
 	}
 	c.run(nil)
+	// Drain the settlement grace periods exactly as the reference execution
+	// the crash point was enumerated from did: triggers inside the
+	// settlement phase — the lazy end-record windows in particular — fire
+	// here.
+	c.drainSettlement()
 
 	if !c.everCrashed[cp.Site] {
 		// Every enumerated point comes from the reference execution, so a
@@ -393,7 +399,10 @@ func RunRandom(cfg Config, seed int64) Report {
 }
 
 // checkConsistency asserts the fundamental invariant on a snapshot: no two
-// sites decided the same transaction differently.
+// sites decided the same transaction differently — and, for central 2PC,
+// that presumed abort stayed sound: a COMMIT decision anywhere implies the
+// coordinator's surviving log holds the forced commit record, so "no trace
+// at the coordinator" is always a safe abort presumption.
 func checkConsistency(c *cluster, snap map[string]map[int]view, r *Report) {
 	for _, txid := range c.sortedTxids() {
 		views := snap[txid]
@@ -413,6 +422,27 @@ func checkConsistency(c *cluster, snap map[string]map[int]view, r *Report) {
 		if len(committed) > 0 && len(aborted) > 0 {
 			r.violate("consistency violated on %s: sites %v committed, sites %v aborted",
 				txid, committed, aborted)
+		}
+		// Presumption soundness. Only central 2PC presumes: 3PC termination
+		// and Paxos ballots can legitimately decide commit while the dead
+		// coordinator's log lacks the decision record.
+		if len(committed) > 0 && c.cfg.Protocol == engine.TwoPhase {
+			coord, ok := c.coords[txid]
+			if !ok {
+				continue // decentralized: every peer is its own coordinator
+			}
+			durable := false
+			recs, _ := c.logs[coord].inner.Records()
+			for _, rec := range recs {
+				if rec.TxID == txid && rec.Type == wal.RecCommitted {
+					durable = true
+					break
+				}
+			}
+			if !durable {
+				r.violate("presumed-abort soundness violated on %s: sites %v committed but coordinator %d has no durable commit record",
+					txid, committed, coord)
+			}
 		}
 	}
 }

@@ -155,7 +155,7 @@ type RegressionScenario struct {
 	Points []CrashPoint
 }
 
-// RegressionScenarios returns the five-bug pinning table.
+// RegressionScenarios returns the pinned-bug table.
 func RegressionScenarios() []RegressionScenario {
 	return []RegressionScenario{
 		{
@@ -199,6 +199,31 @@ func RegressionScenarios() []RegressionScenario {
 				{Site: 1, kind: afterAppend, Rec: wal.RecPaxosAccept, Nth: 1},
 				{Site: 2, kind: afterAppend, Rec: wal.RecPaxosAccept, Nth: 1},
 				{Site: 3, kind: afterAppend, Rec: wal.RecPaxosAccept, Nth: 1},
+			},
+		},
+		{
+			Name: "presumed-abort-recovery",
+			Bug: "under presumed abort a 2PC coordinator that dies before deciding leaves no durable trace (its begin record is a lazy append that dies staged); " +
+				"recovery must presume abort from the empty log and answer inquiries with no-trace, so in-doubt participants abort by presumption instead of blocking forever",
+			Protocol: engine.TwoPhase,
+			Points: []CrashPoint{
+				// The lazy window itself: the coordinator dies with its begin
+				// record staged but not yet flushed — recovery sees an empty
+				// log and must not invent the transaction.
+				{Site: 1, kind: afterAppend, Rec: wal.RecBegin, Nth: 1},
+				// The coordinator dies after absorbing the first YES vote:
+				// both participants hold forced vote records and are in
+				// doubt, while the coordinator's only trace (the staged
+				// begin) is lost with the crash. The recovered coordinator
+				// must answer DECIDE-REQ with no-trace and the participants
+				// must presume abort.
+				{Site: 1, kind: afterDeliver, Msg: 1},
+				// Settlement records are lazy in every protocol: crash each
+				// role with its end record staged-but-unflushed and let
+				// recovery re-run idempotent settlement from the durable
+				// commit record.
+				{Site: 1, kind: afterAppend, Rec: wal.RecEnd, Nth: 1},
+				{Site: 2, kind: afterAppend, Rec: wal.RecEnd, Nth: 1},
 			},
 		},
 		{

@@ -194,12 +194,26 @@ func (h *snapHarness) finalCheck(c *cluster, r *Report) {
 	snap := c.snapshot()
 	for _, txid := range h.txids {
 		// The global outcome: any site that decided (consistency across
-		// sites is checked separately by checkConsistency).
+		// sites is checked separately by checkConsistency). With garbage
+		// collection running in-sim the whole cohort may have settled and
+		// forgotten before the final check, so when no live view remembers,
+		// fall back to durable evidence: commit records are always forced,
+		// so a committed transaction leaves RecCommitted in some WAL; no
+		// such record anywhere means the transaction did not commit and the
+		// abort expectations below apply.
 		outcome := engine.OutcomePending
 		for _, v := range snap[txid] {
 			if v.known && v.outcome != engine.OutcomePending {
 				outcome = v.outcome
 				break
+			}
+		}
+		if outcome == engine.OutcomePending {
+			for _, id := range c.ids {
+				if c.durableOutcome(id, txid) == engine.OutcomeCommitted {
+					outcome = engine.OutcomeCommitted
+					break
+				}
 			}
 		}
 		if outcome == engine.OutcomeAborted && len(h.visible[txid]) > 0 {

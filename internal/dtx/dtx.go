@@ -37,6 +37,11 @@ func (r StoreResource) Prepare(txid string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(ops) == 0 {
+		// No writes at this site: an empty (nil) redo image is the signal
+		// the engine's read-only participant optimization keys on.
+		return nil, nil
+	}
 	return kv.EncodeWrites(ops)
 }
 
@@ -231,6 +236,10 @@ func (c *Cluster) addNode(id int, priorLog wal.Log) error {
 		Timeout:     c.opts.Timeout,
 		ForgetAfter: c.opts.ForgetAfter,
 		Shards:      c.opts.Shards,
+		// StoreResource's redo image is exactly the encoded write set, so an
+		// empty image genuinely means "no writes at this site" — the
+		// condition the read-only participant optimization needs.
+		ReadOnlyVotes: true,
 	}
 	if c.opts.Registry != nil {
 		cfg.Metrics = engine.NewMetrics(c.opts.Registry, c.opts.Protocol)
@@ -305,6 +314,7 @@ type Txn struct {
 	c           *Cluster
 	coordinator int
 	touched     map[int]bool
+	wrote       map[int]bool
 	finished    bool
 }
 
@@ -315,7 +325,7 @@ func (c *Cluster) Begin(coordinator int) (*Txn, error) {
 		return nil, fmt.Errorf("dtx: no site %d", coordinator)
 	}
 	id := fmt.Sprintf("tx-%d-%d", coordinator, c.txSeq.Add(1))
-	t := &Txn{ID: id, c: c, coordinator: coordinator, touched: map[int]bool{}}
+	t := &Txn{ID: id, c: c, coordinator: coordinator, touched: map[int]bool{}, wrote: map[int]bool{}}
 	if err := t.enlist(coordinator); err != nil {
 		return nil, err
 	}
@@ -329,7 +339,7 @@ func (c *Cluster) Begin(coordinator int) (*Txn, error) {
 // set of exactly one site.
 func (c *Cluster) BeginKeyed() *Txn {
 	id := fmt.Sprintf("txk-%d", c.txSeq.Add(1))
-	return &Txn{ID: id, c: c, touched: map[int]bool{}}
+	return &Txn{ID: id, c: c, touched: map[int]bool{}, wrote: map[int]bool{}}
 }
 
 // GetK reads a key at its owner site under the transaction.
@@ -370,6 +380,7 @@ func (t *Txn) Put(site int, key, value string) error {
 	if err := t.enlist(site); err != nil {
 		return err
 	}
+	t.wrote[site] = true
 	return t.c.Node(site).Store.Put(t.ID, key, value)
 }
 
@@ -378,6 +389,7 @@ func (t *Txn) Delete(site int, key string) error {
 	if err := t.enlist(site); err != nil {
 		return err
 	}
+	t.wrote[site] = true
 	return t.c.Node(site).Store.Delete(t.ID, key)
 }
 
@@ -428,7 +440,12 @@ func (t *Txn) Commit(timeout time.Duration) (engine.Outcome, error) {
 		return o, err
 	}
 	for site := range t.touched {
-		if site == t.coordinator || !t.c.Net.Alive(site) {
+		// This drain only exists so the outcome's effects are applied
+		// everywhere before Commit returns. A site the transaction never
+		// wrote to has no effects — and if it took the read-only vote it
+		// has already dropped the transaction, so waiting on it would
+		// stall for the full deadline.
+		if site == t.coordinator || !t.wrote[site] || !t.c.Net.Alive(site) {
 			continue
 		}
 		if n := t.c.Node(site); n != nil {

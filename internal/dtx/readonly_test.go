@@ -2,10 +2,13 @@ package dtx
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"nbcommit/internal/engine"
 	"nbcommit/internal/kv"
+	"nbcommit/internal/transport"
 )
 
 // TestReadOnlyTxnFastPath: a read-only transaction reads a pinned snapshot
@@ -126,5 +129,109 @@ func TestReadOnlyKeyedRouting(t *testing.T) {
 	}
 	if v, err := ro.GetK("beta"); err != nil || v != "b" {
 		t.Fatalf("GetK beta = %q, %v", v, err)
+	}
+}
+
+// TestReadOnlyMemberForcesNothing: a mixed read/write keyed transaction whose
+// cohort includes a site it only read from. That member answers phase 1 with
+// READ-ONLY, forces no WAL record, and sees no phase-2 traffic — the whole of
+// its participation is one VOTE-REQ in and one READ-ONLY vote out. (Paxos
+// Commit is excluded: there every vote is a ballot-0 consensus accept and
+// must be durable, so the optimization does not apply.)
+func TestReadOnlyMemberForcesNothing(t *testing.T) {
+	for _, kind := range []engine.ProtocolKind{engine.TwoPhase, engine.ThreePhase} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := newTestCluster(t, 3, kind)
+			keyAt := func(site int) string {
+				for i := 0; i < 10000; i++ {
+					k := fmt.Sprintf("mix-%d", i)
+					if c.Router().Site(k) == site {
+						return k
+					}
+				}
+				t.Fatalf("no key maps to site %d", site)
+				return ""
+			}
+			writeKey, readKey := keyAt(1), keyAt(3)
+
+			seed := c.BeginKeyed()
+			if err := seed.PutK(readKey, "ro-val"); err != nil {
+				t.Fatal(err)
+			}
+			if o, err := seed.Commit(waitLong); err != nil || o != engine.OutcomeCommitted {
+				t.Fatalf("seed commit: %v %v", o, err)
+			}
+			recsBefore, err := c.Node(3).log.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Tap the wire for the mixed transaction's traffic at site 3.
+			var mu sync.Mutex
+			var toRO, fromRO []transport.Message
+			w := c.BeginKeyed()
+			c.Net.SetDropFunc(func(m transport.Message) bool {
+				mu.Lock()
+				defer mu.Unlock()
+				if m.TxID == w.ID {
+					if m.To == 3 {
+						toRO = append(toRO, m)
+					}
+					if m.From == 3 {
+						fromRO = append(fromRO, m)
+					}
+				}
+				return false
+			})
+			defer c.Net.SetDropFunc(nil)
+
+			if v, err := w.GetK(readKey); err != nil || v != "ro-val" {
+				t.Fatalf("GetK = %q, %v", v, err)
+			}
+			if err := w.PutK(writeKey, "w-val"); err != nil {
+				t.Fatal(err)
+			}
+			if o, err := w.Commit(waitLong); err != nil || o != engine.OutcomeCommitted {
+				t.Fatalf("mixed commit: %v %v", o, err)
+			}
+
+			recsAfter, err := c.Node(3).log.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recsAfter) != len(recsBefore) {
+				t.Errorf("read-only member logged %d records for the mixed transaction",
+					len(recsAfter)-len(recsBefore))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, m := range toRO {
+				if m.Kind != engine.KindVoteReq {
+					t.Errorf("phase-2 message reached the read-only member: %s", m)
+				}
+			}
+			roVotes := 0
+			for _, m := range fromRO {
+				if m.Kind == engine.KindReadOnly {
+					roVotes++
+				} else {
+					t.Errorf("unexpected message from the read-only member: %s", m)
+				}
+			}
+			if roVotes != 1 {
+				t.Errorf("READ-ONLY votes on the wire = %d, want 1", roVotes)
+			}
+			for _, tx := range c.Node(3).Site.Transactions() {
+				if tx == w.ID {
+					t.Errorf("read-only member still tracks %s", tx)
+				}
+			}
+			// The write is durable where it belongs and the read site is
+			// untouched by it.
+			st := c.Node(1).Store
+			if v, err := st.ReadAt(st.StableTS(), writeKey); err != nil || v != "w-val" {
+				t.Errorf("write key = %q, %v", v, err)
+			}
+		})
 	}
 }

@@ -40,14 +40,24 @@ func (s *Site) Begin(txid string, participants []int) error {
 	}
 	// One encoding serves both the begin record and every VOTE-REQ body.
 	body := encodeMeta(meta)
-	sh.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: body})
+	if sh.presumedAbort(t) {
+		// Presumed-abort 2PC: the begin record need not be forced. A
+		// recovered coordinator with no trace answers in-doubt inquiries
+		// with 'n' (no trace), which participants read as abort — exactly
+		// the outcome a pre-commit coordinator crash produces anyway.
+		sh.mustLogLazy(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: body})
+	} else {
+		sh.mustLog(wal.Record{Type: wal.RecBegin, TxID: txid, Payload: body})
+	}
 	sh.armTimer(t, sh.protoTimeout())
 
 	// First phase: distribute the transaction ("Start Xact" / VOTE-REQ).
-	// Still under sh.mu so the sends defer behind the begin record's
-	// durability: were a VOTE-REQ to outrun it and the coordinator to
-	// crash, the recovered coordinator would not even know the transaction
-	// it asked the cohort to vote on.
+	// Still under sh.mu so (when the begin record is forced) the sends
+	// defer behind its durability: were a VOTE-REQ to outrun it and the
+	// coordinator to crash, the recovered coordinator would not even know
+	// the transaction it asked the cohort to vote on. Under presumed abort
+	// the sends go out immediately — "I don't know this transaction" and
+	// "abort" are the same answer.
 	for _, p := range cohort {
 		if p != s.id {
 			sh.send(p, KindVoteReq, txid, body)
@@ -76,7 +86,7 @@ func normalizeCohort(self int, participants []int) []int {
 	return out
 }
 
-// onVote handles YES/NO from a participant (coordinator role).
+// onVote handles YES/NO/READ-ONLY from a participant (coordinator role).
 func (s *shard) onVote(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -89,7 +99,16 @@ func (s *shard) onVote(m transport.Message) {
 		s.decideAbort(t)
 		return
 	}
-	t.votes.add(t.cohortIdx(m.From))
+	idx := t.cohortIdx(m.From)
+	if m.Kind == KindReadOnly {
+		// The participant had no writes: it already released its locks and
+		// forgot the transaction. It counts as a YES for the decision but
+		// drops out of every later round — prepares, the decision fan-out,
+		// and DEC-ACK settlement all skip it.
+		t.readonly.add(idx)
+		s.record("ro-vote", t.id, fmt.Sprintf("site %d read-only", m.From))
+	}
+	t.votes.add(idx)
 	s.maybeAllVotes(t)
 }
 
@@ -137,11 +156,12 @@ func (s *shard) maybeAllVotes(t *txState) {
 		s.decideCommit(t)
 		return
 	}
-	// 3PC: enter the buffer state and run the prepare round.
+	// 3PC: enter the buffer state and run the prepare round. Read-only
+	// voters are already gone and skip the buffer state entirely.
 	s.mustLog(wal.Record{Type: wal.RecPrepared, TxID: t.id, Payload: encodeVotePayload(t.meta, t.redo)})
 	t.phase = phasePrepared
-	for _, p := range t.meta.Participants {
-		if p != s.id {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.readonly.has(i) {
 			s.send(p, KindPrepare, t.id, nil)
 		}
 	}
@@ -170,29 +190,40 @@ func (s *shard) maybeAllAcks(t *txState) {
 		return
 	}
 	for i, p := range t.meta.Participants {
-		if p != s.id && !t.acks.has(i) && s.det.Alive(p) {
+		if p != s.id && !t.acks.has(i) && !t.readonly.has(i) && s.det.Alive(p) {
 			return
 		}
 	}
 	s.decideCommit(t)
 }
 
-// decideCommit records and broadcasts the commit decision. Requires s.mu
+// decideCommit records and broadcasts the commit decision. Read-only voters
+// dropped out of the cohort after phase 1 and receive nothing. Requires s.mu
 // held.
+//
+// Whoever DECIDES also claims the settlement collection point (a no-op for
+// the original coordinator): a Paxos takeover leader deciding in place of a
+// dead coordinator must collect the cohort's DEC-ACKs itself — if the
+// survivors merely acknowledged the corpse and forgot after the grace
+// period, the coordinator's eventual recovery would find a cohort with no
+// memory of the outcome.
 func (s *shard) decideCommit(t *txState) {
+	t.coordinator = true
 	s.resolve(t, OutcomeCommitted)
-	for _, p := range t.meta.Participants {
-		if p != s.id {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.readonly.has(i) {
 			s.send(p, KindCommit, t.id, nil)
 		}
 	}
 }
 
-// decideAbort records and broadcasts the abort decision. Requires s.mu held.
+// decideAbort records and broadcasts the abort decision, claiming the
+// settlement collection point like decideCommit. Requires s.mu held.
 func (s *shard) decideAbort(t *txState) {
+	t.coordinator = true
 	s.resolve(t, OutcomeAborted)
-	for _, p := range t.meta.Participants {
-		if p != s.id {
+	for i, p := range t.meta.Participants {
+		if p != s.id && !t.readonly.has(i) {
 			s.send(p, KindAbort, t.id, nil)
 		}
 	}
@@ -224,7 +255,7 @@ func (s *shard) coordinatorTimeout(t *txState) {
 			return
 		}
 		for i, p := range t.meta.Participants {
-			if p != s.id && !t.acks.has(i) && s.det.Alive(p) {
+			if p != s.id && !t.acks.has(i) && !t.readonly.has(i) && s.det.Alive(p) {
 				s.send(p, KindPrepare, t.id, nil)
 			}
 		}

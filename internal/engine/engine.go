@@ -150,6 +150,7 @@ const (
 	KindVoteReq   = "VOTE-REQ"   // coordinator: transaction + cohort metadata
 	KindYes       = "YES"        // participant vote
 	KindNo        = "NO"         // participant vote (unilateral abort)
+	KindReadOnly  = "READ-ONLY"  // participant vote: no writes, drop me from phase 2
 	KindPrepare   = "PREPARE"    // coordinator: enter the buffer state (3PC)
 	KindAck       = "ACK"        // participant: acknowledged prepare
 	KindCommit    = "COMMIT"     // final decision
@@ -282,8 +283,12 @@ type txState struct {
 	votes       cohortSet // coordinator: YES votes received
 	acks        cohortSet // coordinator: ACKs received
 	decAcks     cohortSet // coordinator: DEC-ACKs received (auto-forget)
+	readonly    cohortSet // coordinator: read-only voters, out of phase 2
 	ownYes      bool      // coordinator: local prepare succeeded
 	noVote      bool      // coordinator: some participant voted NO
+	forced      uint32    // WAL records forced for this transaction here
+
+	noTrace cohortSet // recovering: cohort members that answered "no trace"
 
 	termAcks   cohortSet // backup coordinator: phase-1 acks
 	termActive bool      // backup coordinator: termination underway
@@ -370,6 +375,14 @@ type Config struct {
 	// called. Decentralized (peer) transactions have no acknowledgement
 	// collection point and are never auto-forgotten.
 	ForgetAfter time.Duration
+	// ReadOnlyVotes enables the read-only participant optimization (2PC and
+	// 3PC): a participant whose Resource.Prepare returns an empty redo image
+	// answers the vote request with READ-ONLY, forces nothing to its WAL,
+	// releases the resource immediately and drops out of the second phase
+	// entirely — the coordinator skips it in every later round. Off by
+	// default: only enable it for resources where an empty redo image
+	// genuinely means "this site has nothing at stake in the outcome".
+	ReadOnlyVotes bool
 	// Shards is the number of event-loop workers, each owning a txid-hash
 	// partition of the transaction table (rounded up to a power of two).
 	// Zero means GOMAXPROCS — or one in deterministic mode, where shards
@@ -442,12 +455,14 @@ type shard struct {
 	ep          transport.Endpoint
 	log         wal.Log
 	slog        wal.StagedLog // non-nil: group-commit staging is active
+	lazy        wal.LazyLog   // non-nil: lazy (non-forced) appends are supported
 	res         Resource
 	det         failure.Detector
 	kind        ProtocolKind
 	forgetAfter time.Duration
 	clk         clock.Clock
 	determin    bool
+	roVotes     bool
 	unhandled   func(transport.Message)
 	trace       *trace.Recorder
 	metrics     *Metrics
@@ -613,6 +628,9 @@ func New(cfg Config) (*Site, error) {
 	if sl, ok := cfg.Log.(wal.StagedLog); ok && !cfg.Deterministic {
 		slog = sl
 	}
+	// Lazy appends need no callback, so they are usable in deterministic mode
+	// too (the simulator's log models the staged-but-unflushed crash window).
+	lazy, _ := cfg.Log.(wal.LazyLog)
 	s.shards = make([]*shard, n)
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -621,12 +639,14 @@ func New(cfg Config) (*Site, error) {
 			ep:          cfg.Endpoint,
 			log:         cfg.Log,
 			slog:        slog,
+			lazy:        lazy,
 			res:         cfg.Resource,
 			det:         cfg.Detector,
 			kind:        cfg.Protocol,
 			forgetAfter: cfg.ForgetAfter,
 			clk:         clk,
 			determin:    cfg.Deterministic,
+			roVotes:     cfg.ReadOnlyVotes,
 			unhandled:   cfg.Unhandled,
 			trace:       cfg.Trace,
 			metrics:     cfg.Metrics,
@@ -923,7 +943,7 @@ func (s *shard) handleMessage(m transport.Message) {
 	switch m.Kind {
 	case KindVoteReq:
 		s.onVoteReq(m)
-	case KindYes, KindNo:
+	case KindYes, KindNo, KindReadOnly:
 		s.onVote(m)
 	case KindPrepare:
 		s.onPrepareMsg(m)
@@ -1068,6 +1088,9 @@ func (s *shard) record(kind, txid, note string) {
 // Before Start (recovery) and in deterministic mode the append is
 // synchronous. Requires s.mu held.
 func (s *shard) mustLog(rec wal.Record) {
+	if t, ok := s.txns[rec.TxID]; ok {
+		t.forced++
+	}
 	if s.slog != nil && s.site.live.Load() {
 		g := s.newGroup()
 		s.pending = append(s.pending, g)
@@ -1094,6 +1117,38 @@ func (s *shard) mustLog(rec wal.Record) {
 	if s.metrics != nil {
 		s.metrics.forceWait.Observe(s.clk.Now().Sub(start))
 	}
+}
+
+// mustLogLazy appends a WAL record without forcing it: the record is ordered
+// into the log but rides a later batch, no actGroup is created, and nothing
+// is deferred behind it — subsequent sends and acts run immediately. Only
+// records whose loss recovery can tolerate may be logged this way: presumed
+// (2PC) abort-path records, whose absence recovery reads as abort, and end
+// records, whose loss merely re-runs idempotent garbage collection. A closed
+// log is tolerated (shutdown race): the record was best-effort by contract.
+// Requires s.mu held.
+func (s *shard) mustLogLazy(rec wal.Record) {
+	if s.lazy != nil {
+		if err := s.lazy.AppendLazy(rec); err != nil && !errors.Is(err, wal.ErrClosed) {
+			panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, err))
+		}
+		return
+	}
+	// The log has no lazy capability: fall back to a forced append so the
+	// record is never silently dropped (it still does not count against the
+	// transaction's forced budget — the protocol did not require the force).
+	if _, err := s.log.Append(rec); err != nil && !errors.Is(err, wal.ErrClosed) {
+		panic(fmt.Sprintf("engine: site %d cannot write WAL: %v", s.id, err))
+	}
+}
+
+// presumedAbort reports whether this transaction's abort path runs under the
+// presumed-abort discipline: 2PC, central-site paradigm. The recovery rule —
+// no committed record means abort — makes every abort-path force redundant:
+// the coordinator keeps no trace of aborted transactions at all, and
+// participants append their abort records lazily. Requires s.mu held.
+func (s *shard) presumedAbort(t *txState) bool {
+	return s.kind == TwoPhase && !t.peer
 }
 
 // armTimer (re)starts the transaction's protocol timer. The new arm's
@@ -1255,7 +1310,19 @@ func (s *shard) resolve(t *txState, o Outcome) {
 		})
 	} else {
 		s.record("abort", t.id, "")
-		s.mustLog(wal.Record{Type: wal.RecAborted, TxID: t.id})
+		switch {
+		case s.presumedAbort(t) && t.coordinator:
+			// Presumed abort: the coordinator writes nothing for an aborted
+			// transaction. Recovery finding no trace presumes abort, and any
+			// in-doubt participant that asks is answered with the no-trace
+			// status ('n'), which from the coordinator means abort.
+		case s.presumedAbort(t):
+			// Participant abort records are only an inquiry shortcut under
+			// the presumption; losing one re-runs the (cheap) inquiry.
+			s.mustLogLazy(wal.Record{Type: wal.RecAborted, TxID: t.id})
+		default:
+			s.mustLog(wal.Record{Type: wal.RecAborted, TxID: t.id})
+		}
 		t.phase = phaseAborted
 		if !t.detached {
 			s.act(func() { _ = s.res.Abort(id) }) // aborts are idempotent
@@ -1265,6 +1332,7 @@ func (s *shard) resolve(t *txState, o Outcome) {
 	s.stopTimer(t)
 	done := t.done
 	s.act(func() { close(done) })
+	s.observeForced(t, o)
 	s.scheduleGC(t)
 }
 
@@ -1293,6 +1361,18 @@ func (s *shard) observeResolve(t *txState, o Outcome) {
 	if s.kind == ThreePhase && !t.votesAt.IsZero() {
 		s.metrics.acks.Observe(now.Sub(t.votesAt))
 	}
+}
+
+// observeForced records how many WAL records this site forced for the
+// transaction, sampled at resolution (the end record is lazy and never
+// counts). The histogram abuses the duration-valued Histogram as a plain
+// integer distribution: one "nanosecond" is one forced record. Requires
+// s.mu held and t.phase final.
+func (s *shard) observeForced(t *txState, o Outcome) {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.ForcedPerCommit(t.coordinator, o == OutcomeCommitted).Observe(time.Duration(t.forced))
 }
 
 // observeSettle records decision→full-DEC-ACK latency once per coordinated

@@ -29,6 +29,14 @@ func (s *shard) scheduleGC(t *txState) {
 	if s.forgetAfter <= 0 || t.peer {
 		return
 	}
+	if t.phase == phaseAborted && s.presumedAbort(t) {
+		// Presumed abort has no settlement: the coordinator keeps no state
+		// to re-offer and nobody retains the outcome — the no-trace
+		// presumption answers any future inquiry. Just run out the local
+		// grace period so waiters can still read the result.
+		s.armTimer(t, s.forgetAfter)
+		return
+	}
 	if t.coordinator {
 		if s.decAcksComplete(t) {
 			s.observeSettle(t) // single-site cohort: nothing to collect
@@ -54,12 +62,16 @@ func (s *shard) gcTimeout(t *txState) {
 		s.forgetLocked(t)
 		return
 	}
+	if t.phase == phaseAborted && s.presumedAbort(t) {
+		s.forgetLocked(t) // presumed abort: nothing to re-offer
+		return
+	}
 	if s.decAcksComplete(t) {
 		s.forgetLocked(t)
 		return
 	}
 	for i, p := range t.meta.Participants {
-		if p != s.id && !t.decAcks.has(i) && s.det.Alive(p) {
+		if p != s.id && !t.decAcks.has(i) && !t.readonly.has(i) && s.det.Alive(p) {
 			s.sendOutcome(p, t)
 		}
 	}
@@ -72,7 +84,7 @@ func (s *shard) gcTimeout(t *txState) {
 // Requires s.mu held.
 func (s *shard) decAcksComplete(t *txState) bool {
 	for i, p := range t.meta.Participants {
-		if p != s.id && !t.decAcks.has(i) {
+		if p != s.id && !t.decAcks.has(i) && !t.readonly.has(i) {
 			return false
 		}
 	}
@@ -99,11 +111,14 @@ func (s *shard) onDecAck(m transport.Message) {
 	}
 }
 
-// forgetLocked garbage-collects a resolved transaction: it forces an end
+// forgetLocked garbage-collects a resolved transaction: it appends an end
 // record (so recovery — and WAL compaction — skip the transaction entirely)
-// and drops the in-memory state. Requires s.mu held and t resolved.
+// and drops the in-memory state. The end record is lazy, never forced:
+// losing it in a crash merely makes recovery re-read the transaction's
+// records and re-run idempotent garbage collection. Requires s.mu held and
+// t resolved.
 func (s *shard) forgetLocked(t *txState) {
-	s.mustLog(wal.Record{Type: wal.RecEnd, TxID: t.id})
+	s.mustLogLazy(wal.Record{Type: wal.RecEnd, TxID: t.id})
 	s.stopTimer(t)
 	delete(s.txns, t.id)
 }

@@ -53,6 +53,21 @@ func (g *gatedLog) AppendStaged(rec wal.Record, fn func(uint64, error)) {
 	fn(lsn, err)
 }
 
+// AppendLazy stages a lazy record: gated types sit in the held buffer (the
+// staged-but-unflushed window) with no callback, everything else lands
+// directly.
+func (g *gatedLog) AppendLazy(rec wal.Record) error {
+	g.mu.Lock()
+	if g.gates[rec.Type] {
+		g.held = append(g.held, heldRec{rec, nil})
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	_, err := g.inner.Append(rec)
+	return err
+}
+
 // release makes the held batch durable and runs the callbacks, like a slow
 // fsync finally completing.
 func (g *gatedLog) release() {
@@ -63,7 +78,9 @@ func (g *gatedLog) release() {
 	g.mu.Unlock()
 	for _, h := range held {
 		lsn, err := g.inner.Append(h.rec)
-		h.fn(lsn, err)
+		if h.fn != nil {
+			h.fn(lsn, err)
+		}
 	}
 }
 
@@ -289,10 +306,12 @@ func TestGroupCommitCrashMidBatchBeforePrepare(t *testing.T) {
 }
 
 // TestGroupCommitVoteReqWaitsForBeginRecord: with the begin record gated,
-// no VOTE-REQ escapes — were the coordinator to crash, the cohort must
-// never have heard of a transaction its recovered log does not know.
+// no VOTE-REQ escapes under 3PC — were the coordinator to crash, the cohort
+// must never have heard of a transaction its recovered log does not know.
+// (Presumed-abort 2PC no longer forces the begin record at all; see
+// TestGroupCommitPresumedAbortBeginIsLazy.)
 func TestGroupCommitVoteReqWaitsForBeginRecord(t *testing.T) {
-	c := newGatedCluster(t, engine.TwoPhase, wal.RecBegin)
+	c := newGatedCluster(t, engine.ThreePhase, wal.RecBegin)
 	if err := c.sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
@@ -304,6 +323,29 @@ func TestGroupCommitVoteReqWaitsForBeginRecord(t *testing.T) {
 	}
 	c.gated.release()
 	c.expect("t1", engine.OutcomeCommitted, 1, 2, 3)
+}
+
+// TestGroupCommitPresumedAbortBeginIsLazy: under presumed-abort 2PC the
+// begin record is a lazy append. VOTE-REQs go out without waiting for it,
+// and the decision depends only on the forced commit record: the whole
+// transaction commits while the begin record is still held in the staging
+// buffer.
+func TestGroupCommitPresumedAbortBeginIsLazy(t *testing.T) {
+	c := newGatedCluster(t, engine.TwoPhase, wal.RecBegin)
+	if err := c.sites[1].Begin("t1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c.expect("t1", engine.OutcomeCommitted, 1, 2, 3)
+	recs, err := c.gated.inner.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Type == wal.RecBegin {
+			t.Fatal("begin record reached the log while gated: it was forced, not lazy")
+		}
+	}
+	c.gated.release()
 }
 
 // TestEnginePipelinesOverFileLog runs many concurrent transactions over a

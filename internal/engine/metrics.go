@@ -33,6 +33,11 @@ type Metrics struct {
 	abort     *metrics.Histogram
 	committed *metrics.Counter
 	aborted   *metrics.Counter
+	// forced[role][outcome]: WAL records forced per transaction at this
+	// site, observed at resolution — the protocol-cost number presumed
+	// abort and the read-only optimization exist to shrink. role 0 is
+	// participant, 1 coordinator; outcome 0 aborted, 1 committed.
+	forced [2][2]*metrics.Histogram
 }
 
 // NewMetrics registers (or re-binds) the commit-path series for one
@@ -53,7 +58,27 @@ func NewMetrics(reg *metrics.Registry, kind ProtocolKind) *Metrics {
 		committed: reg.Counter("engine_resolutions_total", "protocol", p, "outcome", "committed"),
 		aborted:   reg.Counter("engine_resolutions_total", "protocol", p, "outcome", "aborted"),
 	}
+	reg.Help("engine_wal_forced_records_per_commit", "WAL records forced per transaction at one site, by role and outcome.")
+	for ri, role := range [2]string{"participant", "coordinator"} {
+		for oi, outcome := range [2]string{"aborted", "committed"} {
+			m.forced[ri][oi] = reg.Histogram("engine_wal_forced_records_per_commit",
+				"protocol", p, "role", role, "outcome", outcome)
+		}
+	}
 	return m
+}
+
+// ForcedPerCommit returns the forced-records histogram for a role/outcome
+// pair, for report generators (cmd/loadgen's forced-record accounting).
+func (m *Metrics) ForcedPerCommit(coordinator, committed bool) *metrics.Histogram {
+	ri, oi := 0, 0
+	if coordinator {
+		ri = 1
+	}
+	if committed {
+		oi = 1
+	}
+	return m.forced[ri][oi]
 }
 
 // Phases returns the per-phase latency histograms keyed by phase name, for

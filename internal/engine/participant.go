@@ -42,15 +42,39 @@ func (s *shard) onPrepareResult(v voteResult) {
 		// failure, ...), then abort immediately — the outcome is decided
 		// for us. Safe under Paxos Commit too: this site is its own
 		// instance's only ballot-0 proposer and never proposed 'y', so
-		// commit is unreachable.
+		// commit is unreachable. Under presumed abort the NO-vote record
+		// need not be forced: a crash that loses it leaves no trace, and
+		// no trace already means abort.
 		s.record("vote-no", t.id, v.err.Error())
-		s.mustLog(wal.Record{Type: wal.RecVoteNo, TxID: t.id})
+		if s.presumedAbort(t) {
+			s.mustLogLazy(wal.Record{Type: wal.RecVoteNo, TxID: t.id})
+		} else {
+			s.mustLog(wal.Record{Type: wal.RecVoteNo, TxID: t.id})
+		}
 		s.send(t.meta.Coordinator, KindNo, t.id, nil)
 		s.resolve(t, OutcomeAborted)
 		return
 	}
 	if s.kind == PaxosCommit {
 		s.paxosVoteYes(t, v.redo)
+		return
+	}
+	if s.roVotes && !t.peer && len(v.redo) == 0 {
+		// Read-only participant optimization: with no writes to make
+		// atomic, this site's vote cannot constrain the outcome and its
+		// recovery needs no record of the transaction. Vote READ-ONLY,
+		// release the resource now, and drop out of the protocol entirely —
+		// no forced record, no phase 2, no timer, no DEC-ACK. If a backup
+		// coordinator or recovered site asks later, the no-state answer
+		// ('n') excludes us, exactly as if we had already been forgotten.
+		s.record("vote-ro", t.id, "")
+		id, done := t.id, t.done
+		t.phase = phaseCommitted
+		s.send(t.meta.Coordinator, KindReadOnly, t.id, nil)
+		s.act(func() { _ = s.res.Abort(id) }) // releases locks; no writes to keep
+		s.act(func() { close(done) })
+		s.stopTimer(t)
+		delete(s.txns, t.id)
 		return
 	}
 	t.redo = v.redo
@@ -112,9 +136,12 @@ func (s *shard) onDecision(m transport.Message, o Outcome) {
 		// likely a coordinator still missing our DEC-ACK — re-acknowledge,
 		// and make sure our own grace timer is (re-)armed so the record
 		// does not linger here forever (recovered sites restore resolved
-		// transactions without one).
+		// transactions without one). Presumed (2PC) aborts have no
+		// collector: nobody is waiting for an acknowledgement.
 		if s.forgetAfter > 0 && !t.peer && !t.coordinator {
-			s.send(m.From, KindDecAck, m.TxID, nil)
+			if !(t.phase == phaseAborted && s.presumedAbort(t)) {
+				s.send(m.From, KindDecAck, m.TxID, nil)
+			}
 			if !t.timer.Armed() {
 				s.armTimer(t, s.forgetAfter)
 			}
@@ -125,8 +152,11 @@ func (s *shard) onDecision(m transport.Message, o Outcome) {
 	if !ok && s.forgetAfter > 0 && !t.coordinator {
 		// The freshly created detached record has no cohort metadata, so
 		// resolve's scheduleGC could not route the acknowledgement; the
-		// sender of the decision is the one collecting it.
-		s.send(m.From, KindDecAck, m.TxID, nil)
+		// sender of the decision is the one collecting it. Presumed (2PC)
+		// aborts are not collected at all.
+		if !(o == OutcomeAborted && s.presumedAbort(t)) {
+			s.send(m.From, KindDecAck, m.TxID, nil)
+		}
 	}
 }
 

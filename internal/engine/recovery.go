@@ -93,8 +93,14 @@ func Recover(cfg Config) (*Site, error) {
 				pending = append(pending, t)
 			}
 		case wal.StatusBegun:
-			// Coordinator crashed before its commit point: abort.
-			sh.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
+			// Coordinator crashed before its commit point: abort. Under
+			// presumed-abort 2PC the abort needs no record — no committed
+			// record already reads as abort, and in-doubt participants that
+			// ask are answered with 'n'. Other families force the decision
+			// so their re-broadcast duty survives a second crash.
+			if !(cfg.Protocol == TwoPhase && img.Coordinator) {
+				sh.mustLog(wal.Record{Type: wal.RecAborted, TxID: id})
+			}
 			t.phase = phaseAborted
 			close(t.done)
 			pending = append(pending, t)
@@ -251,7 +257,12 @@ func (s *shard) onDecideReq(m transport.Message) {
 	defer s.mu.Unlock()
 	t, ok := s.txns[m.TxID]
 	if !ok {
-		s.send(m.From, KindDecideRes, m.TxID, []byte{'?'})
+		// No trace at all. Under presumed abort this is itself an answer:
+		// from the 2PC coordinator the asker reads it as abort (a commit
+		// would have left a forced record); from anyone else it means "no
+		// information, stop waiting on me". Distinct from '?', which says
+		// "in progress, ask again".
+		s.send(m.From, KindDecideRes, m.TxID, []byte{statusNoTrace})
 		return
 	}
 	switch {
@@ -288,6 +299,58 @@ func (s *shard) onDecideRes(m transport.Message) {
 	case 'a':
 		t.recovering = false
 		s.resolve(t, OutcomeAborted)
+	case statusNoTrace:
+		// The answering site has no trace of the transaction. From the 2PC
+		// coordinator that is the presumed-abort verdict: it never forced a
+		// commit record, so it never sent COMMIT. From anyone else (an
+		// ex-read-only member, a site that already forgot a settled abort)
+		// it is no information: an in-doubt asker keeps querying until
+		// someone who knows — ultimately the coordinator — answers, and a
+		// non-recovering asker excludes the site and terminates among the
+		// rest.
+		if s.kind == TwoPhase && !t.peer && t.meta.Coordinator != 0 && m.From == t.meta.Coordinator {
+			s.record("presume-abort", t.id, "coordinator has no trace")
+			t.recovering = false
+			s.resolve(t, OutcomeAborted)
+			return
+		}
+		if t.recovering {
+			// Generalized presumption, any protocol: every commit-deciding
+			// path (coordinator, 3PC backup, Paxos takeover leader) claims
+			// the settlement collection point and retains the outcome until
+			// this site acknowledges it, so a commit this site might still
+			// ask about always has a living witness. An abort does not — a
+			// unilateral NO-voter settles as an ordinary participant and the
+			// whole cohort may forget. So once every other cohort member has
+			// answered "no trace", no commit witness exists and the
+			// transaction cannot have committed anywhere: presume abort.
+			if !t.peer {
+				t.noTrace.add(t.cohortIdx(m.From))
+				all := true
+				for i, p := range t.meta.Participants {
+					if p != s.id && !t.noTrace.has(i) {
+						all = false
+						break
+					}
+				}
+				if all {
+					s.record("presume-abort", t.id, "no cohort member has any trace")
+					t.recovering = false
+					s.resolve(t, OutcomeAborted)
+					return
+				}
+			}
+			return // keep querying; someone who knows must answer
+		}
+		if t.excluded == nil {
+			t.excluded = map[int]bool{}
+		}
+		t.excluded[m.From] = true
+		if s.kind == PaxosCommit {
+			s.paxosTakeover(t)
+			return
+		}
+		s.startTermination(t)
 	case statusRecovering:
 		// The site we were waiting on is itself in doubt after a crash —
 		// typically a recovered coordinator we keep nudging. It will never

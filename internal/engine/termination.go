@@ -6,9 +6,18 @@ import (
 	"nbcommit/internal/wal"
 )
 
-// Status letters carried in STATUS-RES bodies: the canonical state letters
-// plus "r" for a recovering site that refuses the backup role.
-const statusRecovering = byte('r')
+// Status letters carried in STATUS-RES and DECIDE-RES bodies: the canonical
+// state letters plus "r" for a recovering site that refuses the backup role
+// and "n" for a site with no trace of the transaction at all. "n" is the
+// load-bearing letter of presumed abort: from the 2PC coordinator it means
+// the transaction aborted (a commit would have left a forced record); from
+// anyone else it only means "no information — exclude me" (the answerer may
+// be an ex-read-only member of a committed transaction, or may simply have
+// forgotten a settled one).
+const (
+	statusRecovering = byte('r')
+	statusNoTrace    = byte('n')
+)
 
 // startTermination runs when a participant detects that the coordinator
 // crashed while the transaction is unresolved. For 3PC it is the paper's
@@ -187,6 +196,12 @@ func (s *shard) maybeTermPhase2(t *txState) {
 	// the canonical 3PC, commit from {p, c}, abort from {q, w, a}. Decide
 	// from the phase-1 snapshot, which is what the cohort was synchronized
 	// to (see runBackup).
+	//
+	// The deciding backup also claims the settlement collection point (see
+	// decideCommit): it keeps the outcome and re-offers it until every
+	// cohort member — the dead coordinator included, after it recovers —
+	// has acknowledged, so late recovery never meets a cohort that forgot.
+	t.coordinator = true
 	if t.termPhase == phasePrepared {
 		s.resolve(t, OutcomeCommitted)
 	} else {
@@ -235,6 +250,19 @@ func (s *shard) startCooperative(t *txState) {
 func (s *shard) onStatusReq(m transport.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.txns[m.TxID]; !ok && s.roVotes {
+		// No trace of this transaction, and read-only votes are enabled
+		// here: we may be an ex-read-only member of a COMMITTED transaction
+		// that dropped out after phase 1, so the seal-abort below — which
+		// reads no-state as "never voted, abort is safe" — would be
+		// unsound. Answer 'n' without building state: it is never decisive
+		// at the querier (it excludes us or blocks), so no decision can be
+		// assembled from our ignorance. Deployments that keep ReadOnlyVotes
+		// off keep the stronger seal-abort answer, where no-trace really
+		// does imply never-voted (or a settled, forgettable outcome).
+		s.send(m.From, KindStatusRes, m.TxID, []byte{statusNoTrace})
+		return
+	}
 	t := s.tx(m.TxID)
 	if len(t.meta.Participants) == 0 && len(m.Body) > 0 {
 		if meta, err := decodeMeta(m.Body); err == nil {
@@ -290,6 +318,33 @@ func (s *shard) onStatusRes(m transport.Message) {
 	if !ok || t.resolved() {
 		return
 	}
+	if st == statusNoTrace {
+		// From the 2PC coordinator, no trace IS the verdict: it never
+		// forced a commit record, so no COMMIT was ever sent — presume
+		// abort. From anyone else it carries no information; exclude the
+		// site from backup candidacy and fold it into the cooperative
+		// tally as an answered-but-uninformative status.
+		if s.kind == TwoPhase && !t.peer && t.meta.Coordinator != 0 && m.From == t.meta.Coordinator {
+			s.record("presume-abort", t.id, "coordinator has no trace")
+			t.recovering = false
+			s.resolve(t, OutcomeAborted)
+			s.broadcastOutcome(t)
+			return
+		}
+		if t.excluded == nil {
+			t.excluded = map[int]bool{}
+		}
+		t.excluded[m.From] = true
+		if s.kind == ThreePhase {
+			s.startTermination(t) // recompute the backup without it
+			return
+		}
+		if s.kind == TwoPhase && t.queried {
+			t.statuses[m.From] = st
+			s.evaluateCooperative(t, false)
+		}
+		return
+	}
 	if st == statusRecovering {
 		if t.excluded == nil {
 			t.excluded = map[int]bool{}
@@ -343,6 +398,10 @@ func (s *shard) evaluateCooperative(t *txState, final bool) {
 			return
 		case statusRecovering:
 			anyUnknown = true
+		case statusNoTrace:
+			// Answered, but uninformative: an ex-read-only member or a site
+			// that already forgot. Not counted as unknown — a collection
+			// window where everyone answered w/'n' still closes blocked.
 		}
 	}
 	if final && !anyUnknown {

@@ -119,6 +119,20 @@ type StagedLog interface {
 	AppendStaged(rec Record, fn func(lsn uint64, err error))
 }
 
+// LazyLog is a Log supporting lazy (non-forced) appends. A lazy record is
+// ordered into the log like any other, but the caller neither forces it nor
+// waits for it: it rides whatever batch the next forced append, flush
+// interval, Records scan, or Close triggers. A crash may lose a suffix of
+// lazy records; callers must only append records lazily when recovery can
+// reconstruct (or presume) their meaning — e.g. presumed-abort settlement
+// records, whose loss merely re-runs idempotent garbage collection.
+type LazyLog interface {
+	Log
+	// AppendLazy stages rec without forcing it. It returns immediately; any
+	// write error surfaces on the batch that eventually carries the record.
+	AppendLazy(rec Record) error
+}
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
@@ -145,6 +159,13 @@ func (l *MemoryLog) Append(rec Record) (uint64, error) {
 	rec.Payload = append([]byte(nil), rec.Payload...)
 	l.recs = append(l.recs, rec)
 	return rec.LSN, nil
+}
+
+// AppendLazy implements LazyLog. Memory is always "durable" within the
+// simulation model, so a lazy append is an ordinary append.
+func (l *MemoryLog) AppendLazy(rec Record) error {
+	_, err := l.Append(rec)
+	return err
 }
 
 // Records implements Log.
@@ -186,6 +207,11 @@ type Metrics struct {
 	// BatchBytes observes the bytes written per flushed batch; summing it
 	// gives the total log bytes written.
 	BatchBytes func(n int)
+	// BatchLazyRecords observes how many of each flushed batch's records
+	// were lazy riders (staged with AppendLazy, forcing nothing themselves).
+	// Together with BatchRecords it gives the forced-vs-lazy composition of
+	// the log traffic.
+	BatchLazyRecords func(n int)
 	// Compaction observes each successful Compact: how many records the
 	// rewrite kept and dropped.
 	Compaction func(kept, dropped int)
@@ -240,9 +266,10 @@ type FileLog struct {
 }
 
 type stagedRec struct {
-	lsn uint64
-	buf []byte // header + body, ready to write
-	fn  func(lsn uint64, err error)
+	lsn  uint64
+	buf  []byte // header + body, ready to write
+	fn   func(lsn uint64, err error)
+	lazy bool // staged by AppendLazy: rides the batch, forces nothing
 }
 
 // cbBatch is one flushed batch awaiting callback delivery.
@@ -412,6 +439,35 @@ func (l *FileLog) AppendStaged(rec Record, fn func(lsn uint64, err error)) {
 	l.signal()
 }
 
+// AppendLazy implements LazyLog: the record is staged in log order but the
+// flusher is not woken for it, so it rides whatever batch the next forced
+// append (or flush interval, Records scan, or Close) triggers. A crash
+// before that batch loses the record.
+func (l *FileLog) AppendLazy(rec Record) error {
+	if len(rec.TxID) > 1<<16-1 {
+		return fmt.Errorf("wal: transaction ID too long (%d bytes)", len(rec.TxID))
+	}
+	buf := frame(rec)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	lsn := l.next
+	l.next++
+	l.staged = append(l.staged, stagedRec{lsn: lsn, buf: buf, fn: nil, lazy: true})
+	l.stagedBytes += len(buf)
+	full := l.stagedBytes >= l.maxBatch
+	l.mu.Unlock()
+	// No signal: lazy records add no fsync of their own. The flush-interval
+	// gather, the next forced append, Records, SyncNow, or Close will carry
+	// them. Only a full batch forces a flush, bounding staged memory.
+	if full {
+		l.signal()
+	}
+	return nil
+}
+
 func (l *FileLog) signal() {
 	select {
 	case l.wake <- struct{}{}:
@@ -564,8 +620,19 @@ func (l *FileLog) drainCallbacks() {
 		if l.metrics.BatchBytes != nil {
 			l.metrics.BatchBytes(b.nbytes)
 		}
+		if l.metrics.BatchLazyRecords != nil {
+			lazy := 0
+			for _, r := range b.recs {
+				if r.lazy {
+					lazy++
+				}
+			}
+			l.metrics.BatchLazyRecords(lazy)
+		}
 		for _, r := range b.recs {
-			r.fn(r.lsn, b.err)
+			if r.fn != nil {
+				r.fn(r.lsn, b.err)
+			}
 		}
 	}
 }
@@ -668,3 +735,16 @@ func (s *syncLog) Append(rec Record) (uint64, error) {
 
 func (s *syncLog) Records() ([]Record, error) { return s.inner.Records() }
 func (s *syncLog) Close() error               { return s.inner.Close() }
+
+// AppendLazy implements LazyLog when the wrapped log does: even in the
+// one-fsync-per-record baseline a lazy record must not pay a forced sync of
+// its own, so it is handed straight to the inner log's lazy staging.
+func (s *syncLog) AppendLazy(rec Record) error {
+	if lz, ok := s.inner.(LazyLog); ok {
+		return lz.AppendLazy(rec)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.inner.Append(rec)
+	return err
+}
